@@ -1,0 +1,107 @@
+// Ablations for the design choices DESIGN.md calls out:
+//
+//   A1  MAX_PATIENCE sweep — how often the slow path fires and what it
+//       costs (paper §6 picks 16/64 so the slow path is "relatively
+//       infrequent"; patience 1 forces it on every operation).
+//   A2  Cache_Remap on/off — the false-sharing permutation's contribution
+//       under contended pairwise traffic (paper §2).
+//   A3  HELP_DELAY sweep — helping-check amortization (Fig 6).
+//   A4  Entry width — SCQ's 8-byte entries vs wCQ's 16-byte pairs on a
+//       single thread (the effect behind the paper's Fig 11c remark that
+//       wCQ's larger entries reduce cache contention between neighbors).
+#include <cstdio>
+#include <vector>
+
+#include "harness/adapters.hpp"
+#include "harness/runner.hpp"
+
+namespace wcq::bench {
+namespace {
+
+WCQ::Options g_tuned_opts;
+
+struct TunedWcqAdapter {
+  static constexpr const char* kName = "wCQ-tuned";
+  using Queue = WCQ;
+  static Queue* create() { return new Queue(g_tuned_opts); }
+  static void destroy(Queue* q) { delete q; }
+  static bool enqueue(Queue& q, u64 v) {
+    q.enqueue(v & (q.capacity() - 1));
+    return true;
+  }
+  static bool dequeue(Queue& q, u64& out) {
+    auto v = q.dequeue();
+    if (!v) return false;
+    out = *v;
+    return true;
+  }
+};
+
+double measure_wcq(const BenchParams& p, const WCQ::Options& o,
+                   unsigned threads) {
+  g_tuned_opts = o;
+  return measure_point<TunedWcqAdapter>(p, threads).mops.mean;
+}
+
+void run_ablations(const BenchParams& p) {
+  const unsigned threads =
+      p.thread_counts.empty() ? 4 : p.thread_counts[p.thread_counts.size() / 2];
+  print_preamble("Ablations", "wCQ design-choice sweeps (pairs workload)", p);
+  std::printf("# measured at %u threads\n\n", threads);
+
+  std::printf("## A1: MAX_PATIENCE sweep (enq/deq patience, Mops/s)\n");
+  for (int pat : {1, 2, 4, 16, 64}) {
+    WCQ::Options o;
+    o.order = ring_order();
+    o.enq_patience = pat;
+    o.deq_patience = pat;
+    std::fprintf(stderr, "  [A1] patience %d...\n", pat);
+    std::printf("patience=%-3d %8.2f\n", pat, measure_wcq(p, o, threads));
+  }
+  {
+    WCQ::Options paper;
+    paper.order = ring_order();
+    std::printf("paper(16/64) %8.2f\n\n", measure_wcq(p, paper, threads));
+  }
+
+  std::printf("## A2: Cache_Remap on/off (Mops/s)\n");
+  for (bool remap : {true, false}) {
+    WCQ::Options o;
+    o.order = ring_order();
+    o.cache_remap = remap;
+    std::fprintf(stderr, "  [A2] remap %d...\n", remap ? 1 : 0);
+    std::printf("remap=%-5s %8.2f\n", remap ? "on" : "off",
+                measure_wcq(p, o, threads));
+  }
+  std::printf("\n");
+
+  std::printf("## A3: HELP_DELAY sweep at patience 2 (Mops/s)\n");
+  for (unsigned hd : {1u, 4u, 16u, 64u}) {
+    WCQ::Options o;
+    o.order = ring_order();
+    o.enq_patience = 2;
+    o.deq_patience = 2;
+    o.help_delay = hd;
+    std::fprintf(stderr, "  [A3] help_delay %u...\n", hd);
+    std::printf("help_delay=%-3u %8.2f\n", hd, measure_wcq(p, o, threads));
+  }
+  std::printf("\n");
+
+  std::printf("## A4: entry width, single-threaded pairs (Mops/s)\n");
+  std::fprintf(stderr, "  [A4] SCQ (8B entries)...\n");
+  const double scq = measure_point<ScqAdapter>(p, 1).mops.mean;
+  std::fprintf(stderr, "  [A4] wCQ (16B pairs)...\n");
+  const double wcq_m = measure_point<WcqAdapter>(p, 1).mops.mean;
+  std::printf("SCQ  (8-byte entries)  %8.2f\nwCQ (16-byte pairs)    %8.2f\n",
+              scq, wcq_m);
+}
+
+}  // namespace
+}  // namespace wcq::bench
+
+int main(int argc, char** argv) {
+  wcq::bench::BenchParams p = wcq::bench::BenchParams::parse(argc, argv);
+  p.workload = wcq::bench::Workload::kPairs;
+  wcq::bench::run_ablations(p);
+  return 0;
+}

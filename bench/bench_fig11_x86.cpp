@@ -1,0 +1,60 @@
+// Figure 11 (x86-64): the three throughput panels of the paper's main
+// evaluation, across the full comparison set.
+//
+//   11a  empty-dequeue throughput   (Dequeue on an empty queue, tight loop)
+//   11b  pairwise enqueue-dequeue   (Enqueue; Dequeue; repeat)
+//   11c  50%/50% random             (coin-flip per operation)
+//
+// With no --workload flag all three panels run. Expected shape (paper §6):
+// wCQ ≈ SCQ everywhere; 11a: wCQ/SCQ far ahead via the Threshold
+// short-circuit, FAA poor (RMW invalidations); 11b/11c: F&A-based queues
+// (wCQ/SCQ/LCRQ/YMC, bounded by FAA) above MSQueue/CCQueue/CRTurn.
+#include <cstdio>
+#include <cstring>
+
+#include "harness/adapters.hpp"
+#include "harness/runner.hpp"
+
+namespace wcq::bench {
+namespace {
+
+void run_panel(BenchParams p, Workload w, const char* figure,
+               const char* caption) {
+  p.workload = w;
+  print_preamble(figure, caption, p);
+  std::vector<Series> series;
+  run_series<FaaAdapter>(p, series);
+  run_series<WcqAdapter>(p, series);
+  run_series<ScqAdapter>(p, series);
+  run_series<LcrqAdapter>(p, series);
+  run_series<YmcAdapter>(p, series);
+  run_series<CcAdapter>(p, series);
+  run_series<CrTurnAdapter>(p, series);
+  run_series<MsAdapter>(p, series);
+  print_throughput_table(series, p.thread_counts);
+  print_cv_note(series);
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace wcq::bench
+
+int main(int argc, char** argv) {
+  using namespace wcq::bench;
+  BenchParams p = BenchParams::parse(argc, argv);
+  bool explicit_workload = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--workload", 10) == 0) explicit_workload = true;
+  }
+  if (explicit_workload) {
+    run_panel(p, p.workload, "Figure 11", "selected panel");
+    return 0;
+  }
+  run_panel(p, Workload::kEmptyDeq, "Figure 11a",
+            "empty Dequeue throughput, x86-64");
+  run_panel(p, Workload::kPairs, "Figure 11b",
+            "pairwise Enqueue-Dequeue, x86-64");
+  run_panel(p, Workload::kP5050, "Figure 11c",
+            "50%/50% Enqueue-Dequeue, x86-64");
+  return 0;
+}

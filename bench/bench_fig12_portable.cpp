@@ -1,0 +1,58 @@
+// Figure 12 (PowerPC): the same three panels as Figure 11, for the
+// portable wCQ variant built on LL/SC (paper §4, Fig 9).
+//
+// Substitution (DESIGN.md §4): no PowerPC hardware is available, so this
+// runs the LL/SC-decomposed wCQ (simulated reservation granules) on x86
+// next to the CAS2 build and the rest of the paper's PowerPC comparison set
+// (which excludes LCRQ — it requires true CAS2). Absolute numbers are
+// x86's; the comparison of interest is wCQ-LLSC vs SCQ vs the slower
+// queues, and wCQ-LLSC vs the CAS2 wCQ (the §4 decomposition overhead).
+#include <cstdio>
+#include <cstring>
+
+#include "harness/adapters.hpp"
+#include "harness/runner.hpp"
+
+namespace wcq::bench {
+namespace {
+
+void run_panel(BenchParams p, Workload w, const char* figure,
+               const char* caption) {
+  p.workload = w;
+  print_preamble(figure, caption, p);
+  std::vector<Series> series;
+  run_series<FaaAdapter>(p, series);
+  run_series<WcqLlscAdapter>(p, series);
+  run_series<WcqAdapter>(p, series);
+  run_series<ScqAdapter>(p, series);
+  run_series<YmcAdapter>(p, series);
+  run_series<CcAdapter>(p, series);
+  run_series<CrTurnAdapter>(p, series);
+  run_series<MsAdapter>(p, series);
+  print_throughput_table(series, p.thread_counts);
+  print_cv_note(series);
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace wcq::bench
+
+int main(int argc, char** argv) {
+  using namespace wcq::bench;
+  BenchParams p = BenchParams::parse(argc, argv);
+  bool explicit_workload = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--workload", 10) == 0) explicit_workload = true;
+  }
+  if (explicit_workload) {
+    run_panel(p, p.workload, "Figure 12", "selected panel (portable wCQ)");
+    return 0;
+  }
+  run_panel(p, Workload::kEmptyDeq, "Figure 12a",
+            "empty Dequeue throughput, portable (LL/SC) build");
+  run_panel(p, Workload::kPairs, "Figure 12b",
+            "pairwise Enqueue-Dequeue, portable (LL/SC) build");
+  run_panel(p, Workload::kP5050, "Figure 12c",
+            "50%/50% Enqueue-Dequeue, portable (LL/SC) build");
+  return 0;
+}

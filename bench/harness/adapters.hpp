@@ -1,0 +1,119 @@
+// Queue adapters for the benchmark harness: every queue from the paper's
+// comparison set behind one uniform shape, constructed with the paper's §6
+// parameters (ring 2^16 slots for wCQ/SCQ i.e. order 15; MAX_PATIENCE 16/64;
+// LCRQ rings 2^12; YMC segments 2^10).
+//
+// WCQ_BENCH_ORDER overrides the wCQ/SCQ ring order for quick experiments.
+#pragma once
+
+#include "baselines/cc_queue.hpp"
+#include "baselines/crturn_queue.hpp"
+#include "baselines/faa_queue.hpp"
+#include "baselines/lcrq.hpp"
+#include "baselines/ms_queue.hpp"
+#include "baselines/ymc_queue.hpp"
+#include "common/env.hpp"
+#include "core/scq.hpp"
+#include "core/unbounded_queue.hpp"
+#include "core/wcq.hpp"
+#include "core/wcq_llsc.hpp"
+
+namespace wcq::bench {
+
+inline unsigned ring_order() {
+  return static_cast<unsigned>(env_u64("WCQ_BENCH_ORDER", 15));
+}
+
+// Rings transfer indices < capacity; the harness masks payloads (the
+// paper's benchmark does the same — throughput, not payload, is measured).
+struct WcqAdapter {
+  static constexpr const char* kName = "wCQ";
+  using Queue = WCQ;
+  static Queue* create() {
+    WCQ::Options o;
+    o.order = ring_order();
+    return new Queue(o);
+  }
+  static void destroy(Queue* q) { delete q; }
+  static bool enqueue(Queue& q, u64 v) {
+    q.enqueue(v & (q.capacity() - 1));
+    return true;
+  }
+  static bool dequeue(Queue& q, u64& out) {
+    auto v = q.dequeue();
+    if (!v) return false;
+    out = *v;
+    return true;
+  }
+};
+
+struct WcqLlscAdapter {
+  static constexpr const char* kName = "wCQ-LLSC";
+  using Queue = WCQLLSC;
+  static Queue* create() {
+    WCQLLSC::Options o;
+    o.order = ring_order();
+    return new Queue(o);
+  }
+  static void destroy(Queue* q) { delete q; }
+  static bool enqueue(Queue& q, u64 v) {
+    q.enqueue(v & (q.capacity() - 1));
+    return true;
+  }
+  static bool dequeue(Queue& q, u64& out) {
+    auto v = q.dequeue();
+    if (!v) return false;
+    out = *v;
+    return true;
+  }
+};
+
+struct ScqAdapter {
+  static constexpr const char* kName = "SCQ";
+  using Queue = SCQ;
+  static Queue* create() { return new Queue(ring_order()); }
+  static void destroy(Queue* q) { delete q; }
+  static bool enqueue(Queue& q, u64 v) {
+    q.enqueue(v & (q.capacity() - 1));
+    return true;
+  }
+  static bool dequeue(Queue& q, u64& out) {
+    auto v = q.dequeue();
+    if (!v) return false;
+    out = *v;
+    return true;
+  }
+};
+
+template <typename Q, const char* Name>
+struct SimpleAdapter {
+  static constexpr const char* kName = Name;
+  using Queue = Q;
+  static Queue* create() { return new Queue(); }
+  static void destroy(Queue* q) { delete q; }
+  static bool enqueue(Queue& q, u64 v) { return q.enqueue(v); }
+  static bool dequeue(Queue& q, u64& out) {
+    auto v = q.dequeue();
+    if (!v) return false;
+    out = *v;
+    return true;
+  }
+};
+
+inline constexpr char kFaaName[] = "FAA";
+inline constexpr char kMsName[] = "MSQueue";
+inline constexpr char kCcName[] = "CCQueue";
+inline constexpr char kLcrqName[] = "LCRQ";
+inline constexpr char kYmcName[] = "YMC";
+inline constexpr char kCrTurnName[] = "CRTurn";
+inline constexpr char kUnboundedName[] = "UwCQ";
+
+using FaaAdapter = SimpleAdapter<FAAQueue, kFaaName>;
+using MsAdapter = SimpleAdapter<MSQueue, kMsName>;
+using CcAdapter = SimpleAdapter<CCQueue, kCcName>;
+using LcrqAdapter = SimpleAdapter<LCRQ, kLcrqName>;
+using YmcAdapter = SimpleAdapter<YMCQueue, kYmcName>;
+using CrTurnAdapter = SimpleAdapter<CRTurnQueue, kCrTurnName>;
+using UnboundedAdapter = SimpleAdapter<UnboundedQueue<u64>, kUnboundedName>;
+
+}  // namespace wcq::bench

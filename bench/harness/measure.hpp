@@ -1,0 +1,136 @@
+// Templated measurement core: runs one (queue, workload, thread-count) point
+// and returns throughput plus memory counters.
+//
+// Queue concept (provided by harness/adapters.hpp wrappers):
+//   struct Adapter {
+//     static constexpr const char* kName;
+//     using Queue = ...;
+//     static Queue* create();            // fresh instance, paper parameters
+//     static void destroy(Queue*);
+//     static bool enqueue(Queue&, u64);  // false = full (retried by workload)
+//     static bool dequeue(Queue&, u64&); // false = empty
+//   };
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/alloc_meter.hpp"
+#include "common/cpu.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "harness/workloads.hpp"
+
+namespace wcq::bench {
+
+using u64 = std::uint64_t;
+
+struct PointResult {
+  unsigned threads = 0;
+  Summary mops;             // millions of operations per second across runs
+  std::int64_t live_bytes = 0;  // allocator-live bytes after the run
+  std::int64_t peak_bytes = 0;  // peak during the run
+  std::uint64_t rss_bytes = 0;
+};
+
+namespace detail {
+
+inline void tiny_random_delay(Xoshiro256& rng, unsigned max_spins) {
+  const u64 spins = rng.bounded(max_spins + 1);
+  for (u64 i = 0; i < spins; ++i) cpu_relax();
+}
+
+template <typename Adapter>
+void worker_body(typename Adapter::Queue& q, Workload w, u64 my_ops,
+                 unsigned thread_index, unsigned max_delay_spins) {
+  Xoshiro256 rng{0x1234567ULL * (thread_index + 1)};
+  const u64 payload = thread_index % 16;
+  switch (w) {
+    case Workload::kPairs:
+      for (u64 i = 0; i + 1 < my_ops; i += 2) {
+        while (!Adapter::enqueue(q, payload)) cpu_relax();
+        u64 out;
+        (void)Adapter::dequeue(q, out);
+      }
+      break;
+    case Workload::kP5050:
+      for (u64 i = 0; i < my_ops; ++i) {
+        if (rng.coin()) {
+          (void)Adapter::enqueue(q, payload);  // full counts as an attempt
+        } else {
+          u64 out;
+          (void)Adapter::dequeue(q, out);
+        }
+      }
+      break;
+    case Workload::kEmptyDeq:
+      for (u64 i = 0; i < my_ops; ++i) {
+        u64 out;
+        (void)Adapter::dequeue(q, out);
+      }
+      break;
+    case Workload::kMemory:
+      for (u64 i = 0; i < my_ops; ++i) {
+        if (rng.coin()) {
+          (void)Adapter::enqueue(q, payload);
+        } else {
+          u64 out;
+          (void)Adapter::dequeue(q, out);
+        }
+        tiny_random_delay(rng, max_delay_spins);
+      }
+      break;
+  }
+}
+
+}  // namespace detail
+
+template <typename Adapter>
+PointResult measure_point(const BenchParams& p, unsigned threads) {
+  PointResult result;
+  result.threads = threads;
+  std::vector<double> samples;
+  samples.reserve(p.runs);
+
+  for (unsigned run = 0; run < p.runs; ++run) {
+    alloc_meter::reset_peak();
+    const std::int64_t live_before = alloc_meter::live_bytes();
+    typename Adapter::Queue* q = Adapter::create();
+
+    std::atomic<unsigned> ready{0};
+    std::atomic<bool> go{false};
+    const u64 per_thread = p.ops / threads;
+    std::vector<std::thread> ts;
+    ts.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) {
+      ts.emplace_back([&, t] {
+        if (p.pin) pin_thread(t);
+        ready.fetch_add(1, std::memory_order_acq_rel);
+        while (!go.load(std::memory_order_acquire)) cpu_relax();
+        detail::worker_body<Adapter>(*q, p.workload, per_thread, t,
+                                     p.max_delay_spins);
+      });
+    }
+    while (ready.load(std::memory_order_acquire) < threads) cpu_relax();
+    const auto t0 = std::chrono::steady_clock::now();
+    go.store(true, std::memory_order_release);
+    for (auto& t : ts) t.join();
+    const auto t1 = std::chrono::steady_clock::now();
+
+    const double secs = std::chrono::duration<double>(t1 - t0).count();
+    const double total_ops = static_cast<double>(per_thread) * threads;
+    samples.push_back(total_ops / secs / 1e6);
+
+    result.live_bytes = alloc_meter::live_bytes() - live_before;
+    result.peak_bytes = alloc_meter::peak_bytes() - live_before;
+    result.rss_bytes = current_rss_bytes();
+    Adapter::destroy(q);
+  }
+  result.mops = summarize(samples);
+  return result;
+}
+
+}  // namespace wcq::bench

@@ -1,0 +1,77 @@
+#include "harness/runner.hpp"
+
+#include <cstdio>
+
+namespace wcq::bench {
+
+void print_preamble(const char* figure, const char* caption,
+                    const BenchParams& p) {
+  std::printf("# %s — %s\n", figure, caption);
+  std::printf("# workload=%s ops=%llu runs=%u pin=%d\n",
+              workload_name(p.workload),
+              static_cast<unsigned long long>(p.ops), p.runs, p.pin ? 1 : 0);
+  std::printf(
+      "# (paper scale: WCQ_BENCH_FULL=1 or --full → 10 runs x 10M ops)\n");
+}
+
+namespace {
+
+const PointResult* find_point(const Series& s, unsigned threads) {
+  for (const auto& pt : s.points) {
+    if (pt.threads == threads) return &pt;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+void print_throughput_table(const std::vector<Series>& series,
+                            const std::vector<unsigned>& threads) {
+  std::printf("threads");
+  for (const auto& s : series) std::printf(",%s", s.name.c_str());
+  std::printf("   (Mops/sec)\n");
+  for (unsigned t : threads) {
+    std::printf("%7u", t);
+    for (const auto& s : series) {
+      const PointResult* pt = find_point(s, t);
+      if (pt != nullptr) {
+        std::printf(",%.2f", pt->mops.mean);
+      } else {
+        std::printf(",-");
+      }
+    }
+    std::printf("\n");
+  }
+}
+
+void print_memory_table(const std::vector<Series>& series,
+                        const std::vector<unsigned>& threads) {
+  std::printf("threads");
+  for (const auto& s : series) std::printf(",%s", s.name.c_str());
+  std::printf("   (peak MB allocated during run)\n");
+  for (unsigned t : threads) {
+    std::printf("%7u", t);
+    for (const auto& s : series) {
+      const PointResult* pt = find_point(s, t);
+      if (pt != nullptr) {
+        std::printf(",%.2f", static_cast<double>(pt->peak_bytes) / 1e6);
+      } else {
+        std::printf(",-");
+      }
+    }
+    std::printf("\n");
+  }
+}
+
+void print_cv_note(const std::vector<Series>& series) {
+  double worst = 0.0;
+  for (const auto& s : series) {
+    for (const auto& pt : s.points) {
+      if (pt.mops.cv > worst) worst = pt.mops.cv;
+    }
+  }
+  std::printf("# worst coefficient of variation across points: %.4f%s\n",
+              worst, worst < 0.01 ? " (<0.01, as in the paper)" : "");
+}
+
+}  // namespace wcq::bench

@@ -1,0 +1,40 @@
+// Table-driven bench runner: sweeps thread counts for a set of queue
+// adapters and prints one paper-style series per queue.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/measure.hpp"
+#include "harness/workloads.hpp"
+
+namespace wcq::bench {
+
+struct Series {
+  std::string name;
+  std::vector<PointResult> points;
+};
+
+void print_preamble(const char* figure, const char* caption,
+                    const BenchParams& p);
+void print_throughput_table(const std::vector<Series>& series,
+                            const std::vector<unsigned>& threads);
+void print_memory_table(const std::vector<Series>& series,
+                        const std::vector<unsigned>& threads);
+void print_cv_note(const std::vector<Series>& series);
+
+// Measure one adapter across the sweep (skipped if filtered out by --only).
+template <typename Adapter>
+void run_series(const BenchParams& p, std::vector<Series>& out) {
+  if (!p.selected(Adapter::kName)) return;
+  Series s;
+  s.name = Adapter::kName;
+  for (unsigned t : p.thread_counts) {
+    std::fprintf(stderr, "  [%s] %u thread(s)...\n", Adapter::kName, t);
+    s.points.push_back(measure_point<Adapter>(p, t));
+  }
+  out.push_back(std::move(s));
+}
+
+}  // namespace wcq::bench

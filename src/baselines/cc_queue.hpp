@@ -1,0 +1,160 @@
+// CCQueue — a flat-combining FIFO queue built on Fatourou & Kallimanis'
+// CC-Synch combining construction (PPoPP'12), one of the paper's baselines.
+//
+// Threads announce operations by swapping a fresh record into a global tail
+// (one XCHG — the only contended instruction); whoever finds its record's
+// `wait` flag already cleared becomes the combiner and executes a bounded
+// batch of announced operations against a *sequential* queue, then passes
+// the combiner role down the announcement list. This achieves high
+// throughput by turning N contended updates into one cache-friendly pass,
+// but is blocking — a preempted combiner stalls everyone, the property the
+// paper contrasts with wCQ's wait-freedom.
+//
+// Record recycling follows the original scheme: each thread keeps exactly
+// one spare record; the record it swaps out of the tail becomes its request
+// node and, after completion, its next spare. Sequential-queue nodes are
+// allocated via the alloc meter (visible to the Fig 10 bench).
+#pragma once
+
+#include <atomic>
+#include <optional>
+
+#include "common/align.hpp"
+#include "common/alloc_meter.hpp"
+#include "common/cpu.hpp"
+#include "runtime/thread_registry.hpp"
+
+namespace wcq {
+
+class CCQueue {
+ public:
+  CCQueue() {
+    SeqNode* dummy = alloc_meter::create<SeqNode>(u64{0});
+    seq_head_ = dummy;
+    seq_tail_ = dummy;
+    CombineRec* initial = alloc_meter::create<CombineRec>();
+    initial->wait.store(false, std::memory_order_relaxed);  // first announcer
+    lock_tail_.value.store(initial, std::memory_order_relaxed);  // combines
+  }
+
+  ~CCQueue() {
+    SeqNode* n = seq_head_;
+    while (n != nullptr) {
+      SeqNode* next = n->next;
+      alloc_meter::destroy(n);
+      n = next;
+    }
+    for (auto& r : mine_) {
+      alloc_meter::destroy(r.node);
+    }
+    alloc_meter::destroy(lock_tail_.value.load(std::memory_order_relaxed));
+  }
+
+  CCQueue(const CCQueue&) = delete;
+  CCQueue& operator=(const CCQueue&) = delete;
+
+  bool enqueue(u64 value) {
+    combine(OpKind::kEnqueue, value);
+    return true;
+  }
+
+  std::optional<u64> dequeue() {
+    CombineRec* r = combine(OpKind::kDequeue, 0);
+    if (!r->has_result) return std::nullopt;
+    return r->result;
+  }
+
+ private:
+  enum class OpKind : u64 { kEnqueue, kDequeue };
+
+  struct alignas(kDestructiveRange) CombineRec {
+    std::atomic<CombineRec*> next{nullptr};
+    std::atomic<bool> wait{true};
+    bool completed = false;  // written by the combiner before wait=false
+    OpKind kind = OpKind::kEnqueue;
+    u64 arg = 0;
+    u64 result = 0;
+    bool has_result = false;
+  };
+
+  struct SeqNode {
+    explicit SeqNode(u64 v) : value(v) {}
+    u64 value;
+    SeqNode* next = nullptr;
+  };
+
+  CombineRec* combine(OpKind kind, u64 arg) {
+    CombineRec*& mine = my_node();
+    CombineRec* next_rec = mine;
+    next_rec->next.store(nullptr, std::memory_order_relaxed);
+    next_rec->wait.store(true, std::memory_order_relaxed);
+    next_rec->completed = false;
+
+    CombineRec* cur =
+        lock_tail_.value.exchange(next_rec, std::memory_order_seq_cst);
+    cur->kind = kind;
+    cur->arg = arg;
+    cur->has_result = false;
+    mine = cur;  // recycled once this operation completes
+    cur->next.store(next_rec, std::memory_order_release);
+
+    while (cur->wait.load(std::memory_order_acquire)) cpu_relax();
+    if (cur->completed) return cur;  // a combiner executed us
+
+    // We are the combiner: run a bounded batch starting at our own record.
+    CombineRec* node = cur;
+    int budget = kCombineBatch;
+    for (;;) {
+      CombineRec* next = node->next.load(std::memory_order_acquire);
+      if (next == nullptr || --budget == 0) break;
+      apply(node);
+      node->completed = true;
+      node->wait.store(false, std::memory_order_release);
+      node = next;
+    }
+    // `node` is unapplied: either the tail dummy (its future owner will
+    // combine) or, on budget exhaustion, a pending request whose owner now
+    // becomes the combiner. Either way pass the role via wait=false.
+    node->wait.store(false, std::memory_order_release);
+    return cur;
+  }
+
+  void apply(CombineRec* r) {
+    if (r->kind == OpKind::kEnqueue) {
+      SeqNode* n = alloc_meter::create<SeqNode>(r->arg);
+      seq_tail_->next = n;
+      seq_tail_ = n;
+    } else {
+      SeqNode* first = seq_head_->next;
+      if (first == nullptr) {
+        r->has_result = false;
+      } else {
+        r->result = first->value;
+        r->has_result = true;
+        SeqNode* old = seq_head_;
+        seq_head_ = first;
+        alloc_meter::destroy(old);
+      }
+    }
+  }
+
+  struct MyRec {
+    CombineRec* node = nullptr;
+  };
+
+  CombineRec*& my_node() {
+    MyRec& m = mine_[ThreadRegistry::tid()];
+    if (m.node == nullptr) m.node = alloc_meter::create<CombineRec>();
+    return m.node;
+  }
+
+  static constexpr int kCombineBatch = 64;
+
+  alignas(kDestructiveRange) CacheAligned<std::atomic<CombineRec*>> lock_tail_;
+  // Sequential state: only the combiner touches these.
+  alignas(kDestructiveRange) SeqNode* seq_head_;
+  SeqNode* seq_tail_;
+  MyRec mine_[ThreadRegistry::kMaxThreads] = {};
+};
+
+}  // namespace wcq

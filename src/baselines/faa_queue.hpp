@@ -1,0 +1,44 @@
+// FAA — the paper's "theoretical upper bound" pseudo-queue (§6).
+//
+// Not a real queue: Enqueue just fetch-and-adds Tail, Dequeue fetch-and-adds
+// Head and pretends a value was transferred. It measures the raw cost of the
+// two contended F&A hot spots that every F&A-based queue (LCRQ, YMC, SCQ,
+// wCQ) is built around, and so upper-bounds their achievable throughput.
+// It intentionally still incurs the RMW cache-invalidation traffic, which is
+// why it loses the empty-dequeue benchmark (Fig 11a) to the threshold-based
+// queues.
+#pragma once
+
+#include <atomic>
+#include <optional>
+
+#include "common/align.hpp"
+
+namespace wcq {
+
+class FAAQueue {
+ public:
+  FAAQueue() = default;
+  FAAQueue(const FAAQueue&) = delete;
+  FAAQueue& operator=(const FAAQueue&) = delete;
+
+  bool enqueue(u64 value) {
+    (void)value;  // no payload transfer: F&A cost only (paper §6)
+    tail_.value.fetch_add(1, std::memory_order_seq_cst);
+    return true;
+  }
+
+  std::optional<u64> dequeue() {
+    const u64 h = head_.value.fetch_add(1, std::memory_order_seq_cst);
+    if (h >= tail_.value.load(std::memory_order_seq_cst)) {
+      return std::nullopt;  // "empty"
+    }
+    return u64{0};  // dummy: FAA transfers no real values
+  }
+
+ private:
+  alignas(kDestructiveRange) CacheAligned<std::atomic<u64>> tail_;
+  alignas(kDestructiveRange) CacheAligned<std::atomic<u64>> head_;
+};
+
+}  // namespace wcq

@@ -1,0 +1,102 @@
+#include "common/alloc_meter.hpp"
+
+#include <cstdlib>
+#include <new>
+
+namespace wcq::alloc_meter {
+
+namespace {
+
+struct Meter {
+  Shard shards[kShards];
+  alignas(kCacheLine) std::atomic<std::int64_t> peak{0};
+};
+
+Meter g_meter;
+
+unsigned shard_index() {
+  // Cheap thread-id hash; collisions only share a counter cache line.
+  static std::atomic<unsigned> next{0};
+  thread_local unsigned idx =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return idx;
+}
+
+void bump_peak() {
+  const std::int64_t live = live_bytes();
+  std::int64_t prev = g_meter.peak.load(std::memory_order_relaxed);
+  while (live > prev && !g_meter.peak.compare_exchange_weak(
+                            prev, live, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+Shard* shards() { return g_meter.shards; }
+
+void* allocate(std::size_t bytes) {
+  void* p = std::malloc(bytes);
+  if (p == nullptr) throw std::bad_alloc{};
+  Shard& s = g_meter.shards[shard_index()];
+  s.live.fetch_add(static_cast<std::int64_t>(bytes),
+                   std::memory_order_relaxed);
+  s.allocs.fetch_add(1, std::memory_order_relaxed);
+  bump_peak();
+  return p;
+}
+
+void* allocate_aligned(std::size_t bytes, std::size_t alignment) {
+  if (alignment < alignof(std::max_align_t)) {
+    alignment = alignof(std::max_align_t);
+  }
+  void* p = nullptr;
+  if (posix_memalign(&p, alignment, bytes) != 0) throw std::bad_alloc{};
+  Shard& s = g_meter.shards[shard_index()];
+  s.live.fetch_add(static_cast<std::int64_t>(bytes),
+                   std::memory_order_relaxed);
+  s.allocs.fetch_add(1, std::memory_order_relaxed);
+  bump_peak();
+  return p;
+}
+
+void deallocate_aligned(void* p, std::size_t bytes) {
+  if (p == nullptr) return;
+  Shard& s = g_meter.shards[shard_index()];
+  s.live.fetch_sub(static_cast<std::int64_t>(bytes),
+                   std::memory_order_relaxed);
+  std::free(p);
+}
+
+void deallocate(void* p, std::size_t bytes) {
+  if (p == nullptr) return;
+  Shard& s = g_meter.shards[shard_index()];
+  s.live.fetch_sub(static_cast<std::int64_t>(bytes),
+                   std::memory_order_relaxed);
+  std::free(p);
+}
+
+std::int64_t live_bytes() {
+  std::int64_t sum = 0;
+  for (unsigned i = 0; i < kShards; ++i) {
+    sum += g_meter.shards[i].live.load(std::memory_order_relaxed);
+  }
+  return sum;
+}
+
+std::int64_t total_allocations() {
+  std::int64_t sum = 0;
+  for (unsigned i = 0; i < kShards; ++i) {
+    sum += g_meter.shards[i].allocs.load(std::memory_order_relaxed);
+  }
+  return sum;
+}
+
+std::int64_t peak_bytes() {
+  return g_meter.peak.load(std::memory_order_relaxed);
+}
+
+void reset_peak() {
+  g_meter.peak.store(live_bytes(), std::memory_order_relaxed);
+}
+
+}  // namespace wcq::alloc_meter

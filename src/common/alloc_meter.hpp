@@ -1,0 +1,78 @@
+// Deterministic allocation metering for the Fig 10 memory-usage experiment.
+//
+// The paper measures "memory consumed" per algorithm under a 50/50 random
+// workload with tiny delays: LCRQ's closed rings and YMC's segments pile up,
+// while SCQ/wCQ stay at their statically-allocated ring size. RSS is noisy
+// (allocator caching, page granularity), so every queue in this library
+// routes its dynamic allocations through this meter; the benchmark reports
+// live bytes and peak bytes exactly, plus RSS for context.
+//
+// Counters are per-cache-line sharded to keep the meter from becoming the
+// bottleneck it is trying to measure.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "common/align.hpp"
+
+namespace wcq::alloc_meter {
+
+inline constexpr unsigned kShards = 64;
+
+struct Shard {
+  alignas(kCacheLine) std::atomic<std::int64_t> live{0};
+  std::atomic<std::int64_t> allocs{0};
+};
+
+Shard* shards();
+
+// Account `bytes` to the calling thread's shard and allocate.
+void* allocate(std::size_t bytes);
+void deallocate(void* p, std::size_t bytes);
+
+// Aggregate counters (live can transiently undershoot peak accounting; peak
+// is tracked as max-of-live observed at allocation time).
+std::int64_t live_bytes();
+std::int64_t total_allocations();
+std::int64_t peak_bytes();
+void reset_peak();
+
+// STL-compatible allocator that routes through the meter. Used by queue
+// internals so that *all* queue memory shows up in Fig 10.
+template <typename T>
+struct MeteredAllocator {
+  using value_type = T;
+  MeteredAllocator() = default;
+  template <typename U>
+  MeteredAllocator(const MeteredAllocator<U>&) {}  // NOLINT(implicit)
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(alloc_meter::allocate(n * sizeof(T)));
+  }
+  void deallocate(T* p, std::size_t n) {
+    alloc_meter::deallocate(p, n * sizeof(T));
+  }
+  template <typename U>
+  bool operator==(const MeteredAllocator<U>&) const {
+    return true;
+  }
+};
+
+// Typed convenience helpers for queue nodes/segments.
+template <typename T, typename... Args>
+T* create(Args&&... args) {
+  void* p = allocate(sizeof(T));
+  return new (p) T(static_cast<Args&&>(args)...);
+}
+
+template <typename T>
+void destroy(T* p) {
+  if (p != nullptr) {
+    p->~T();
+    deallocate(p, sizeof(T));
+  }
+}
+
+}  // namespace wcq::alloc_meter

@@ -1,0 +1,33 @@
+// CPU topology and affinity helpers for the benchmark harness.
+//
+// The paper pins measurement threads ("x86-64's throughput peaks for 18
+// threads (all 18 threads can fit just one physical CPU)"); we pin threads
+// round-robin over online CPUs so thread-count sweeps are reproducible.
+#pragma once
+
+#include <cstdint>
+
+namespace wcq {
+
+// Number of online CPUs.
+unsigned cpu_count();
+
+// Pin the calling thread to cpu `index % cpu_count()`. No-op on failure
+// (e.g., restricted cpusets); benchmarks still run, just unpinned.
+void pin_thread(unsigned index);
+
+// A few-cycle pause to play nice with the sibling hyperthread inside spin
+// loops (PAUSE on x86, YIELD elsewhere).
+inline void cpu_relax() {
+#if defined(__x86_64__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield");
+#endif
+}
+
+// Current resident set size in bytes (Linux /proc/self/statm); 0 if unknown.
+// Used by the Fig 10 memory bench alongside the deterministic alloc meter.
+std::uint64_t current_rss_bytes();
+
+}  // namespace wcq

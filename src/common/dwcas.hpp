@@ -1,0 +1,82 @@
+// Double-width compare-and-swap (the paper's CAS2, §2).
+//
+// wCQ needs 16-byte CAS in two places: ring entries ({Note, Value} pairs,
+// Fig 4) and the global Head/Tail references ({counter, phase2 pointer}
+// pairs, Fig 7). x86-64 provides cmpxchg16b; AArch64 provides CASP. On
+// toolchains where 16-byte __atomic operations are routed through libatomic
+// we use inline assembly on x86-64 to keep the hot path call-free.
+//
+// Atomic 16-byte *loads* are deliberately NOT provided as a primitive.
+// Per the paper (§4): every consumer of a pair either re-validates it with a
+// CAS2 (so a torn two-word read only causes a benign retry) or bases its
+// decision on a single word of the pair. We therefore read pairs as two
+// individually-atomic 64-bit loads.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/align.hpp"
+
+namespace wcq {
+
+struct alignas(16) Pair128 {
+  std::uint64_t lo;
+  std::uint64_t hi;
+
+  friend bool operator==(const Pair128& a, const Pair128& b) {
+    return a.lo == b.lo && a.hi == b.hi;
+  }
+};
+
+// Storage for a CAS2-able pair. Each word is separately atomic so fast paths
+// can F&A / load one word while slow paths CAS2 the pair (Fig 7: "use only
+// .cnt for fast paths").
+struct alignas(16) AtomicPair128 {
+  std::atomic<std::uint64_t> lo;
+  std::atomic<std::uint64_t> hi;
+
+  // Two individually-atomic loads; the combined value may be torn (see file
+  // header for why that is safe everywhere this is used).
+  Pair128 load_torn(std::memory_order order = std::memory_order_acquire) const {
+    Pair128 r;
+    r.lo = lo.load(order);
+    r.hi = hi.load(order);
+    return r;
+  }
+};
+
+static_assert(sizeof(AtomicPair128) == 16);
+static_assert(std::atomic<std::uint64_t>::is_always_lock_free);
+
+// 16-byte strong CAS. On success returns true; on failure updates `expected`
+// with the observed value (like std::atomic::compare_exchange). Full barrier
+// semantics (lock-prefixed on x86; __ATOMIC_SEQ_CST on the fallback).
+inline bool dwcas(AtomicPair128& target, Pair128& expected,
+                  const Pair128& desired) {
+#if defined(__x86_64__) && !defined(WCQ_NO_INLINE_CAS2)
+  bool ok;
+  asm volatile("lock cmpxchg16b %1"
+               : "=@ccz"(ok), "+m"(target), "+a"(expected.lo),
+                 "+d"(expected.hi)
+               : "b"(desired.lo), "c"(desired.hi)
+               : "memory");
+  return ok;
+#else
+  return __atomic_compare_exchange(
+      reinterpret_cast<Pair128*>(&target), &expected,
+      const_cast<Pair128*>(&desired), /*weak=*/false, __ATOMIC_SEQ_CST,
+      __ATOMIC_SEQ_CST);
+#endif
+}
+
+// Truly-atomic 16-byte load built from CAS2 (writes the current value back to
+// itself). Only used by tests/assertions; algorithm code uses load_torn().
+inline Pair128 dwload_atomic(AtomicPair128& target) {
+  Pair128 expected = target.load_torn(std::memory_order_relaxed);
+  while (!dwcas(target, expected, expected)) {
+  }
+  return expected;
+}
+
+}  // namespace wcq

@@ -1,0 +1,53 @@
+// xoshiro256** — fast, high-quality PRNG for workload generation.
+//
+// The paper's benchmark chooses operations randomly (Fig 10/11c: "Enqueue for
+// one half of the time, and Dequeue for the other half") and inserts "tiny
+// random delays" in the memory test. std::mt19937_64 is too slow to sit
+// inside a 10M-op/s measurement loop without perturbing it; xoshiro costs a
+// few cycles per draw.
+#pragma once
+
+#include <cstdint>
+
+namespace wcq {
+
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) {
+    // splitmix64 seeding as recommended by the xoshiro authors.
+    std::uint64_t z = seed;
+    for (auto& word : s_) {
+      z += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t x = z;
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+      word = x ^ (x >> 31);
+    }
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound) without modulo bias worth caring about here.
+  std::uint64_t bounded(std::uint64_t bound) { return next() % bound; }
+
+  // One coin flip per call; used for the 50%/50% workloads.
+  bool coin() { return (next() & 1) != 0; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+}  // namespace wcq

@@ -1,0 +1,26 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wcq {
+
+Summary summarize(const std::vector<double>& samples) {
+  Summary s;
+  s.n = samples.size();
+  if (samples.empty()) return s;
+  s.min = *std::min_element(samples.begin(), samples.end());
+  s.max = *std::max_element(samples.begin(), samples.end());
+  double sum = 0.0;
+  for (double v : samples) sum += v;
+  s.mean = sum / static_cast<double>(samples.size());
+  if (samples.size() > 1) {
+    double ss = 0.0;
+    for (double v : samples) ss += (v - s.mean) * (v - s.mean);
+    s.stddev = std::sqrt(ss / static_cast<double>(samples.size() - 1));
+  }
+  s.cv = (s.mean != 0.0) ? s.stddev / s.mean : 0.0;
+  return s;
+}
+
+}  // namespace wcq

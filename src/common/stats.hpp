@@ -1,0 +1,24 @@
+// Summary statistics for benchmark runs.
+//
+// The paper reports the mean of 10 runs and notes "the coefficient of
+// variation, as reported by the benchmark, is small (< 0.01)"; we reproduce
+// both numbers for every measured point.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace wcq {
+
+struct Summary {
+  double mean = 0.0;
+  double stddev = 0.0;  // sample standard deviation
+  double cv = 0.0;      // stddev / mean (0 when mean == 0)
+  double min = 0.0;
+  double max = 0.0;
+  std::size_t n = 0;
+};
+
+Summary summarize(const std::vector<double>& samples);
+
+}  // namespace wcq

@@ -1,0 +1,93 @@
+// BoundedQueue<T> — the paper's Fig 2 indirection pattern.
+//
+// SCQ/wCQ rings transfer *indices*; real payloads live in a separate data
+// array referenced by those indices. Two rings are used: `fq` holds free
+// indices (initially full: 0..n-1) and `aq` holds allocated ones. Enqueue =
+// take a free index, write the payload, publish the index through aq;
+// Dequeue = take an index from aq, read the payload, recycle the index
+// through fq. Because at most n indices exist, the rings' "Enqueue never
+// checks full" precondition holds by construction, and "queue full" is
+// simply "fq empty".
+//
+// The progress property is inherited from the Ring parameter: wait-free with
+// WCQ (default), lock-free with SCQ.
+#pragma once
+
+#include <cassert>
+#include <new>
+#include <optional>
+#include <type_traits>
+#include <utility>
+
+#include "common/align.hpp"
+#include "core/scq.hpp"
+#include "core/wcq.hpp"
+
+namespace wcq {
+
+template <typename T, typename Ring = WCQ>
+class BoundedQueue {
+  static_assert(std::is_nothrow_move_constructible_v<T>,
+                "payloads move across threads; moves must not throw");
+
+ public:
+  // Capacity = 2^order elements.
+  explicit BoundedQueue(unsigned order)
+      : aq_(order), fq_(order), data_(aq_.capacity(), kCacheLine) {
+    for (u64 i = 0; i < fq_.capacity(); ++i) {
+      fq_.enqueue(i);
+    }
+  }
+
+  ~BoundedQueue() {
+    // Destroy any payloads still in flight.
+    while (auto idx = aq_.dequeue()) {
+      slot(*idx)->~T();
+    }
+  }
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  u64 capacity() const { return aq_.capacity(); }
+
+  // Returns false when the queue is full.
+  bool enqueue(T value) {
+    const auto idx = fq_.dequeue();
+    if (!idx) return false;
+    ::new (static_cast<void*>(slot(*idx))) T(std::move(value));
+    aq_.enqueue(*idx);
+    return true;
+  }
+
+  // Returns nullopt when the queue is empty.
+  std::optional<T> dequeue() {
+    const auto idx = aq_.dequeue();
+    if (!idx) return std::nullopt;
+    T* p = slot(*idx);
+    std::optional<T> out{std::move(*p)};
+    p->~T();
+    fq_.enqueue(*idx);
+    return out;
+  }
+
+  // Ring access for diagnostics (e.g., threshold inspection in tests).
+  const Ring& aq() const { return aq_; }
+  const Ring& fq() const { return fq_; }
+
+ private:
+  struct alignas(alignof(T)) Storage {
+    unsigned char bytes[sizeof(T)];
+  };
+
+  T* slot(u64 idx) {
+    assert(idx < data_.size());
+    return std::launder(reinterpret_cast<T*>(data_[idx].bytes));
+  }
+
+  Ring aq_;
+  Ring fq_;
+  AlignedArray<Storage> data_;
+};
+
+}  // namespace wcq

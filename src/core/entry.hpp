@@ -1,0 +1,90 @@
+// Ring-entry bit packing shared by SCQ (Fig 3) and wCQ (Fig 4).
+//
+// A ring of order `o` has R = 2^(o+1) slots (the paper's 2n: SCQ/wCQ allocate
+// double capacity and only ever hold n = 2^o live indices, which is what
+// makes the 3n-1 threshold bound work). Each slot is one 64-bit word:
+//
+//   bits [0, B)      Index    (B = o+1; real indices are [0, n);
+//                              ⊥ = R-2 marks "empty", ⊤/⊥c = R-1 "consumed")
+//   bit  B           Enq      (wCQ two-step insertion flag; always 1 in SCQ)
+//   bit  B+1         IsSafe
+//   bits [B+2, 64)   Cycle    (counter / R)
+//
+// ⊥c is all-ones in the low B bits, so consuming an element is a single
+// atomic OR of (⊥c | Enq-bit) that preserves Cycle and IsSafe — exactly the
+// paper's `consume` (Fig 3 line 12 / Fig 5 line 3).
+//
+// Head/Tail counters start at R (cycle 1) so that the initial entries
+// (cycle 0) always compare strictly older. Counters must stay below 2^62
+// because wCQ steals bits 62/63 of its per-thread counter words for INC/FIN;
+// at 10^9 ops/s that is ~146 years of queue lifetime.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+#include "common/align.hpp"
+
+namespace wcq {
+
+using u64 = std::uint64_t;
+using i64 = std::int64_t;
+
+struct Entry {
+  u64 cycle;
+  bool safe;
+  bool enq;
+  u64 index;
+};
+
+class EntryCodec {
+ public:
+  explicit EntryCodec(unsigned order)
+      : order_(order),
+        idx_bits_(order + 1),
+        ring_size_(u64{1} << idx_bits_),
+        idx_mask_(ring_size_ - 1),
+        enq_bit_(u64{1} << idx_bits_),
+        safe_bit_(u64{1} << (idx_bits_ + 1)),
+        cycle_shift_(idx_bits_ + 2) {
+    assert(order >= 1 && order <= 31);
+  }
+
+  unsigned order() const { return order_; }
+  u64 ring_size() const { return ring_size_; }      // R = 2n
+  u64 half() const { return ring_size_ >> 1; }      // n = usable capacity
+  u64 bottom() const { return ring_size_ - 2; }     // ⊥
+  u64 bottom_c() const { return ring_size_ - 1; }   // ⊥c
+  u64 consume_mask() const { return bottom_c() | enq_bit_; }
+
+  u64 pack(u64 cycle, bool safe, bool enq, u64 index) const {
+    assert(index < ring_size_);
+    return (cycle << cycle_shift_) | (safe ? safe_bit_ : 0) |
+           (enq ? enq_bit_ : 0) | index;
+  }
+
+  Entry unpack(u64 raw) const {
+    return Entry{raw >> cycle_shift_, (raw & safe_bit_) != 0,
+                 (raw & enq_bit_) != 0, raw & idx_mask_};
+  }
+
+  bool is_live_index(u64 index) const { return index < bottom(); }
+
+  // Position and cycle of a Head/Tail counter value.
+  u64 pos_of(u64 counter) const { return counter & idx_mask_; }
+  u64 cycle_of(u64 counter) const { return counter >> idx_bits_; }
+
+  // Initial entry state: {Cycle=0, IsSafe=1, Enq=1, Index=⊥} (Fig 3 / Fig 4).
+  u64 initial() const { return pack(0, true, true, bottom()); }
+
+ private:
+  unsigned order_;
+  unsigned idx_bits_;  // B
+  u64 ring_size_;
+  u64 idx_mask_;
+  u64 enq_bit_;
+  u64 safe_bit_;
+  unsigned cycle_shift_;
+};
+
+}  // namespace wcq

@@ -1,0 +1,183 @@
+// SCQ — the lock-free Scalable Circular Queue of Nikolaev (DISC'19), exactly
+// as reproduced in the wCQ paper's Figure 3. It is both (a) the substrate
+// wCQ's fast path is built from and (b) one of the benchmark subjects.
+//
+// SCQ is an index ring: it stores values in [0, capacity()) ("indices"),
+// which in the full queue (core/bounded_queue.hpp, paper Fig 2) refer into a
+// separate data array. The ring physically holds 2n slots but the caller
+// must keep at most n = capacity() indices live — that invariant is what
+// lets Enqueue skip full-queue checks and what makes the 3n-1 Threshold
+// bound (paper §2) valid.
+//
+// Progress: operation-wise lock-free. Dequeue on an empty queue is O(1)
+// after the Threshold short-circuit kicks in (the property behind Fig 11a).
+#pragma once
+
+#include <atomic>
+#include <optional>
+
+#include "common/align.hpp"
+#include "core/entry.hpp"
+#include "core/remap.hpp"
+
+namespace wcq {
+
+class SCQ {
+ public:
+  // `order`: capacity = 2^order indices; the ring allocates 2^(order+1)
+  // slots. The paper's benchmark configuration is order 15 (2^16 slots).
+  explicit SCQ(unsigned order, bool cache_remap = true)
+      : codec_(order),
+        remap_(codec_.ring_size(), sizeof(std::atomic<u64>), cache_remap),
+        entries_(codec_.ring_size(), kCacheLine) {
+    for (u64 i = 0; i < codec_.ring_size(); ++i) {
+      entries_[i].store(codec_.initial(), std::memory_order_relaxed);
+    }
+    tail_.value.store(codec_.ring_size(), std::memory_order_relaxed);
+    head_.value.store(codec_.ring_size(), std::memory_order_relaxed);
+    threshold_.value.store(-1, std::memory_order_release);  // empty
+  }
+
+  SCQ(const SCQ&) = delete;
+  SCQ& operator=(const SCQ&) = delete;
+
+  u64 capacity() const { return codec_.half(); }
+  u64 ring_size() const { return codec_.ring_size(); }
+
+  // Inserts `index` (< capacity()). Never fails; the caller guarantees at
+  // most capacity() live indices (Fig 2's fq/aq usage provides that).
+  void enqueue(u64 index) {
+    u64 tail_unused;
+    while (!try_enq(index, tail_unused)) {
+    }
+  }
+
+  // Removes and returns the oldest index, or nullopt when empty.
+  std::optional<u64> dequeue() {
+    if (threshold_.value.load(std::memory_order_acquire) < 0) {
+      return std::nullopt;  // empty fast-exit (Fig 3 line 7)
+    }
+    for (;;) {
+      u64 index;
+      switch (try_deq(index)) {
+        case DeqStatus::kOk:
+          return index;
+        case DeqStatus::kEmpty:
+          return std::nullopt;
+        case DeqStatus::kRetry:
+          break;
+      }
+    }
+  }
+
+  // --- introspection hooks (tests / benches) -------------------------------
+  i64 threshold() const {
+    return threshold_.value.load(std::memory_order_acquire);
+  }
+  u64 head() const { return head_.value.load(std::memory_order_acquire); }
+  u64 tail() const { return tail_.value.load(std::memory_order_acquire); }
+
+ private:
+  enum class DeqStatus { kOk, kEmpty, kRetry };
+
+  i64 threshold_max() const {
+    // 3n - 1 for a 2n-slot ring holding at most n indices (paper §2).
+    return static_cast<i64>(codec_.half() * 3 - 1);
+  }
+
+  // Fig 3, try_enq. Returns true on success; false means "F&A again"
+  // (the slot was unusable for this tail value).
+  bool try_enq(u64 index, u64& tail_out) {
+    const u64 t = tail_.value.fetch_add(1, std::memory_order_seq_cst);
+    tail_out = t;
+    const u64 j = remap_(codec_.pos_of(t));
+    const u64 cycle_t = codec_.cycle_of(t);
+    u64 raw = entries_[j].load(std::memory_order_acquire);
+    for (;;) {
+      const Entry e = codec_.unpack(raw);
+      if (e.cycle < cycle_t &&
+          (e.safe || head_.value.load(std::memory_order_seq_cst) <= t) &&
+          !codec_.is_live_index(e.index)) {
+        const u64 fresh = codec_.pack(cycle_t, true, true, index);
+        if (!entries_[j].compare_exchange_strong(raw, fresh,
+                                                 std::memory_order_seq_cst)) {
+          continue;  // Fig 3 line 25: re-check with the observed entry
+        }
+        if (threshold_.value.load(std::memory_order_seq_cst) !=
+            threshold_max()) {
+          threshold_.value.store(threshold_max(), std::memory_order_seq_cst);
+        }
+        return true;
+      }
+      return false;
+    }
+  }
+
+  // Fig 3, try_deq.
+  DeqStatus try_deq(u64& index_out) {
+    const u64 h = head_.value.fetch_add(1, std::memory_order_seq_cst);
+    const u64 j = remap_(codec_.pos_of(h));
+    const u64 cycle_h = codec_.cycle_of(h);
+    u64 raw = entries_[j].load(std::memory_order_acquire);
+    for (;;) {
+      const Entry e = codec_.unpack(raw);
+      if (e.cycle == cycle_h) {
+        // Our enqueuer arrived first: consume (atomic OR keeps Cycle/IsSafe).
+        entries_[j].fetch_or(codec_.consume_mask(), std::memory_order_seq_cst);
+        index_out = e.index;
+        return DeqStatus::kOk;
+      }
+      u64 fresh;
+      if (!codec_.is_live_index(e.index)) {
+        // Mark the slot with our cycle so our (late) enqueuer skips it.
+        fresh = codec_.pack(cycle_h, e.safe, e.enq, codec_.bottom());
+      } else {
+        // An older-cycle element is still here; strip IsSafe so enqueuers
+        // must consult Head before reusing the slot.
+        fresh = codec_.pack(e.cycle, false, e.enq, e.index);
+      }
+      if (e.cycle < cycle_h) {
+        if (!entries_[j].compare_exchange_strong(raw, fresh,
+                                                 std::memory_order_seq_cst)) {
+          continue;
+        }
+        const u64 t = tail_.value.load(std::memory_order_seq_cst);
+        if (t <= h + 1) {
+          catchup(t, h + 1);
+          threshold_.value.fetch_sub(1, std::memory_order_seq_cst);
+          return DeqStatus::kEmpty;
+        }
+      }
+      if (threshold_.value.fetch_sub(1, std::memory_order_seq_cst) <= 0) {
+        return DeqStatus::kEmpty;
+      }
+      return DeqStatus::kRetry;
+    }
+  }
+
+  // Fig 3, catchup: pull Tail forward to Head after draining past it. Purely
+  // a contention optimization; iterations are capped (harmless, and wCQ
+  // requires the cap for wait-freedom — paper §3.2 "Bounding catchup").
+  void catchup(u64 tail, u64 head) {
+    for (int i = 0; i < kCatchupMax; ++i) {
+      if (tail_.value.compare_exchange_strong(tail, head,
+                                              std::memory_order_seq_cst)) {
+        return;
+      }
+      head = head_.value.load(std::memory_order_seq_cst);
+      tail = tail_.value.load(std::memory_order_seq_cst);
+      if (tail >= head) return;
+    }
+  }
+
+  static constexpr int kCatchupMax = 8;
+
+  EntryCodec codec_;
+  CacheRemap remap_;
+  alignas(kDestructiveRange) CacheAligned<std::atomic<u64>> tail_;
+  alignas(kDestructiveRange) CacheAligned<std::atomic<u64>> head_;
+  alignas(kDestructiveRange) CacheAligned<std::atomic<i64>> threshold_;
+  AlignedArray<std::atomic<u64>> entries_;
+};
+
+}  // namespace wcq

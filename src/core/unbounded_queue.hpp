@@ -1,0 +1,182 @@
+// Unbounded wait-free-ring queue (paper Appendix A).
+//
+// The appendix follows LSCQ/LCRQ's recipe: an outer linked list chains
+// bounded rings; a ring that fills up is *finalized* (no enqueue can ever
+// succeed on it again) and a fresh ring is appended. Outer-list operations
+// are rare (once per ring capacity), so their cost is dominated by the
+// inner wCQ operations.
+//
+// Reproduction notes (DESIGN.md §4):
+//  * The appendix uses CRTurn as the outer layer to keep the composition
+//    wait-free end-to-end. CRTurn's dequeue-side turn protocol is not
+//    reconstructible from available material (see baselines/crturn_queue.hpp);
+//    the outer list here is Michael&Scott-style (lock-free) with hazard
+//    pointers, which preserves the appendix's structure and memory behavior
+//    while the inner rings remain wait-free.
+//  * Finalization is implemented with a segment-level gate plus an
+//    in-flight enqueuer counter instead of the appendix's Tail finalize bit
+//    (which lives inside the ring's F&A word): a segment is unlinked only
+//    when it is finalized, drained, and free of in-flight enqueuers, which
+//    makes "help finalize, then append" (Fig 13 lines 21-22) unnecessary.
+#pragma once
+
+#include <atomic>
+#include <new>
+#include <optional>
+#include <utility>
+
+#include "common/align.hpp"
+#include "common/alloc_meter.hpp"
+#include "core/bounded_queue.hpp"
+#include "reclaim/hazard_pointers.hpp"
+
+namespace wcq {
+
+template <typename T, typename Ring = WCQ>
+class UnboundedQueue {
+ public:
+  // Each segment holds 2^segment_order elements (default: 1024).
+  explicit UnboundedQueue(unsigned segment_order = 10)
+      : segment_order_(segment_order) {
+    Segment* first = Segment::create(segment_order_);
+    head_.value.store(first, std::memory_order_relaxed);
+    tail_.value.store(first, std::memory_order_relaxed);
+  }
+
+  ~UnboundedQueue() {
+    Segment* s = head_.value.load(std::memory_order_relaxed);
+    while (s != nullptr) {
+      Segment* next = s->next.load(std::memory_order_relaxed);
+      Segment::destroy(s);
+      s = next;
+    }
+  }
+
+  UnboundedQueue(const UnboundedQueue&) = delete;
+  UnboundedQueue& operator=(const UnboundedQueue&) = delete;
+
+  // Never fails (allocates a new ring when the last one fills/finalizes).
+  bool enqueue(T value) {
+    HazardDomain& hp = HazardDomain::global();
+    for (;;) {
+      Segment* ltail = hp.protect(0, tail_.value);
+      Segment* next = ltail->next.load(std::memory_order_acquire);
+      if (next != nullptr) {
+        // Outer tail lags; help swing it (Fig 13 lines 24-27).
+        tail_.value.compare_exchange_strong(ltail, next,
+                                            std::memory_order_seq_cst);
+        continue;
+      }
+      if (ltail->enqueue(value)) {
+        hp.clear(0);
+        return true;
+      }
+      // Ring full: it is now finalized; append a fresh ring seeded with the
+      // value (Fig 13 lines 7-8, 21-23).
+      Segment* fresh = Segment::create(segment_order_);
+      (void)fresh->enqueue(value);  // empty open ring: cannot fail
+      Segment* expected = nullptr;
+      if (ltail->next.compare_exchange_strong(expected, fresh,
+                                              std::memory_order_seq_cst)) {
+        tail_.value.compare_exchange_strong(ltail, fresh,
+                                            std::memory_order_seq_cst);
+        hp.clear(0);
+        return true;
+      }
+      Segment::destroy(fresh);  // somebody appended first; retry there
+    }
+  }
+
+  std::optional<T> dequeue() {
+    HazardDomain& hp = HazardDomain::global();
+    for (;;) {
+      Segment* lhead = hp.protect(0, head_.value);
+      if (auto v = lhead->dequeue()) {
+        hp.clear(0);
+        return v;
+      }
+      Segment* next = lhead->next.load(std::memory_order_acquire);
+      if (next == nullptr) {
+        hp.clear(0);
+        return std::nullopt;  // no successor: the queue is empty
+      }
+      // A successor exists, so lhead is finalized. It may only be unlinked
+      // once no enqueuer can still complete on it and it is drained.
+      if (!lhead->quiescent()) {
+        // An in-flight enqueue may still land here; try dequeuing again.
+        continue;
+      }
+      if (auto v = lhead->dequeue()) {  // drained-check must re-validate
+        hp.clear(0);
+        return v;
+      }
+      Segment* expected = lhead;
+      if (head_.value.compare_exchange_strong(expected, next,
+                                              std::memory_order_seq_cst)) {
+        hp.clear(0);
+        hp.retire(lhead,
+                  [](void* p) { Segment::destroy(static_cast<Segment*>(p)); });
+      }
+    }
+  }
+
+  // Test hook: number of linked segments.
+  u64 live_segments() const {
+    u64 n = 0;
+    for (Segment* s = head_.value.load(std::memory_order_acquire);
+         s != nullptr; s = s->next.load(std::memory_order_acquire)) {
+      ++n;
+    }
+    return n;
+  }
+
+ private:
+  // One ring segment: a Fig 2 bounded queue plus finalization state.
+  struct Segment {
+    explicit Segment(unsigned order) : queue(order) {}
+
+    static Segment* create(unsigned order) {
+      void* mem = alloc_meter::allocate(sizeof(Segment));
+      return new (mem) Segment(order);
+    }
+    static void destroy(Segment* s) {
+      s->~Segment();
+      alloc_meter::deallocate(s, sizeof(Segment));
+    }
+
+    // False once the segment is full: the segment finalizes and no enqueue
+    // will ever succeed on it again (so FIFO order across segments holds).
+    bool enqueue(const T& v) {
+      in_flight.fetch_add(1, std::memory_order_seq_cst);
+      if (finalized.load(std::memory_order_seq_cst)) {
+        in_flight.fetch_sub(1, std::memory_order_seq_cst);
+        return false;
+      }
+      const bool ok = queue.enqueue(v);
+      if (!ok) {
+        finalized.store(true, std::memory_order_seq_cst);
+      }
+      in_flight.fetch_sub(1, std::memory_order_seq_cst);
+      return ok;
+    }
+
+    std::optional<T> dequeue() { return queue.dequeue(); }
+
+    // True when no enqueuer can still add an element to this segment.
+    bool quiescent() const {
+      return finalized.load(std::memory_order_seq_cst) &&
+             in_flight.load(std::memory_order_seq_cst) == 0;
+    }
+
+    BoundedQueue<T, Ring> queue;
+    alignas(kCacheLine) std::atomic<bool> finalized{false};
+    alignas(kCacheLine) std::atomic<int> in_flight{0};
+    alignas(kCacheLine) std::atomic<Segment*> next{nullptr};
+  };
+
+  unsigned segment_order_;
+  alignas(kDestructiveRange) CacheAligned<std::atomic<Segment*>> head_;
+  alignas(kDestructiveRange) CacheAligned<std::atomic<Segment*>> tail_;
+};
+
+}  // namespace wcq

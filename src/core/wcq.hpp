@@ -1,0 +1,769 @@
+// wCQ — the Wait-free Circular Queue (the paper's contribution, Figs 4-7).
+//
+// wCQ is SCQ (core/scq.hpp) plus a fast-path-slow-path construction that
+// makes both operations wait-free while keeping memory statically bounded:
+//
+//  * Fast path: identical to SCQ (F&A on Head/Tail, single-word CAS/OR on
+//    the entry's Value word), tried MAX_PATIENCE times.
+//  * Slow path: the thread publishes a help request in its per-queue thread
+//    record; every thread polls for requests (one candidate every HELP_DELAY
+//    operations) and replays the stuck operation cooperatively. The global
+//    Head/Tail F&A is replaced by slow_F&A — a two-phase, helped increment
+//    that all cooperating threads agree on via the request's localTail /
+//    localHead word (counter + INC/FIN flag bits).
+//
+// Entries become 16-byte pairs {Value, Note}: Note is a cycle watermark that
+// forces late helpers to skip any slot one cooperating thread already
+// skipped, and the extra Enq bit supports two-step insertion (produce with
+// Enq=0, finalize the request, flip Enq=1) so helpers can be terminated
+// before a produced entry is consumed and its slot recycled.
+//
+// Deviations from the paper's pseudocode (justified in DESIGN.md §3):
+//  1. The second-phase reference stored in global Head/Tail is not a raw
+//     phase2rec pointer but a packed (tid, generation) tag validated against
+//     the record's seq words — a raw pointer left dangling by Fig 7 line 35's
+//     allowed failure could otherwise complete a *later* increment's Phase 2
+//     prematurely, breaking the local < global invariant.
+//  2. Helpers re-validate the request generation (rec.seq1 == seq) after
+//     every bare read of the shared localTail/localHead word in slow_F&A and
+//     abort helping on mismatch; without this a helper that survives its
+//     one-shot Fig 6 validation can adopt the *next* request's counter and
+//     enqueue a stale index into it.
+//  3. A cycle match in try_enq_slow counts as success only for a non-⊥
+//     index (a same-counter dequeuer may have ⊥-marked the slot first).
+//  4. A failed FIN CAS that does not observe FIN means "keep working", not
+//     "done" — otherwise helpers continue on a dead request and orphan the
+//     elements they dequeue for it.
+//  5. The baseline (failed fast-path) rank is a CAS anchor only and is
+//     never handed out as a reservation by the bare-read path.
+//  6. catchup is iteration-capped (the paper requires this, §3.2).
+//
+// Progress: wait-free, bounded memory (Theorems 5.8-5.10).
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdio>
+#include <optional>
+
+#include "common/align.hpp"
+#include "common/dwcas.hpp"
+#include "core/entry.hpp"
+#include "core/remap.hpp"
+#include "runtime/thread_registry.hpp"
+
+namespace wcq {
+
+// Entry-pair update policy. wCQ's slow path reads both words of an entry
+// pair atomically-enough (torn reads are re-validated) but only ever
+// *updates one word at a time* — the property §4 exploits on PowerPC/MIPS.
+// The default implementation uses CAS2 (x86-64/AArch64); core/wcq_llsc.hpp
+// provides the paper's Fig 9 LL/SC decomposition over a simulated
+// reservation granule. Both have weak-CAS semantics: spurious failure is
+// allowed, callers re-read and retry.
+struct Cas2EntryOps {
+  static bool update_value(AtomicPair128& e, const Pair128& expected,
+                           u64 new_value) {
+    Pair128 exp = expected;
+    return dwcas(e, exp, Pair128{new_value, expected.hi});
+  }
+  static bool update_note(AtomicPair128& e, const Pair128& expected,
+                          u64 new_note) {
+    Pair128 exp = expected;
+    return dwcas(e, exp, Pair128{expected.lo, new_note});
+  }
+};
+
+template <typename EntryOps>
+class BasicWCQ {
+ public:
+  struct Options {
+    unsigned order = 15;        // capacity 2^order; ring allocates 2^(order+1)
+    unsigned max_threads = 128;  // size of the per-queue record array
+    int enq_patience = 16;      // paper §6: 16 for Enqueue
+    int deq_patience = 64;      // paper §6: 64 for Dequeue
+    unsigned help_delay = 16;   // Fig 6 HELP_DELAY
+    bool cache_remap = true;
+  };
+
+  explicit BasicWCQ(Options opt)
+      : opt_(opt),
+        codec_(opt.order),
+        remap_(codec_.ring_size(), sizeof(AtomicPair128), opt.cache_remap),
+        entries_(codec_.ring_size(), kCacheLine),
+        records_(opt.max_threads, kDestructiveRange) {
+    assert(opt.enq_patience >= 1 && opt.deq_patience >= 1);
+    assert(opt.help_delay >= 1);
+    assert(opt.max_threads >= 1 &&
+           opt.max_threads <= ThreadRegistry::kMaxThreads);
+    for (u64 i = 0; i < codec_.ring_size(); ++i) {
+      entries_[i].lo.store(codec_.initial(), std::memory_order_relaxed);
+      entries_[i].hi.store(0, std::memory_order_relaxed);  // Note: "never"
+    }
+    tail_.lo.store(codec_.ring_size(), std::memory_order_relaxed);
+    tail_.hi.store(0, std::memory_order_relaxed);
+    head_.lo.store(codec_.ring_size(), std::memory_order_relaxed);
+    head_.hi.store(0, std::memory_order_relaxed);
+    threshold_.value.store(-1, std::memory_order_release);
+  }
+
+  explicit BasicWCQ(unsigned order) : BasicWCQ(Options{.order = order}) {}
+  BasicWCQ() : BasicWCQ(Options{}) {}
+
+  BasicWCQ(const BasicWCQ&) = delete;
+  BasicWCQ& operator=(const BasicWCQ&) = delete;
+
+  u64 capacity() const { return codec_.half(); }
+  u64 ring_size() const { return codec_.ring_size(); }
+
+  // Inserts `index` (< capacity()). The caller guarantees at most
+  // capacity() live indices (Fig 2 indirection provides that). Wait-free.
+  void enqueue(u64 index) {
+    ThreadRec& rec = my_record();
+    help_threads(rec);
+    // == Fast path (SCQ) ==
+    u64 tail = 0;
+    for (int i = 0; i < opt_.enq_patience; ++i) {
+      if (try_enq(index, tail)) return;
+    }
+    // == Slow path ==
+    const u64 seq = rec.seq1.load(std::memory_order_relaxed);
+    rec.local_tail.store(tail, std::memory_order_release);
+    rec.init_tail.store(tail, std::memory_order_release);
+    rec.index.store(index, std::memory_order_release);
+    rec.is_enqueue.store(true, std::memory_order_release);
+    rec.seq2.store(seq, std::memory_order_release);
+    rec.pending.store(true, std::memory_order_release);
+    enqueue_slow(tail, index, rec, seq);
+    // The element is inserted, but the inserting thread may have been a
+    // helper that has not yet executed its Threshold reset (Fig 7 line 18
+    // runs after the FIN that released us). Returning now would let a
+    // dequeuer read the stale negative threshold and report empty even
+    // though this enqueue has completed — a linearizability violation
+    // caught by the L4 history check (deviation 7, DESIGN.md §3). Re-arm
+    // the threshold before responding; an extra reset is always safe.
+    reset_threshold();
+    rec.pending.store(false, std::memory_order_release);
+    rec.seq1.store(seq + 1, std::memory_order_release);
+  }
+
+  // Removes and returns the oldest index, or nullopt when empty. Wait-free.
+  std::optional<u64> dequeue() {
+    if (threshold_.value.load(std::memory_order_acquire) < 0) {
+      return std::nullopt;  // empty fast-exit
+    }
+    ThreadRec& rec = my_record();
+    help_threads(rec);
+    // == Fast path (SCQ) ==
+    u64 head = 0;
+    for (int i = 0; i < opt_.deq_patience; ++i) {
+      u64 index;
+      switch (try_deq(index, head)) {
+        case DeqStatus::kOk:
+          return index;
+        case DeqStatus::kEmpty:
+          return std::nullopt;
+        case DeqStatus::kRetry:
+          break;
+      }
+    }
+    // == Slow path ==
+    const u64 seq = rec.seq1.load(std::memory_order_relaxed);
+    rec.local_head.store(head, std::memory_order_release);
+    rec.init_head.store(head, std::memory_order_release);
+    rec.is_enqueue.store(false, std::memory_order_release);
+    rec.seq2.store(seq, std::memory_order_release);
+    rec.pending.store(true, std::memory_order_release);
+    dequeue_slow(head, rec, seq);
+    rec.pending.store(false, std::memory_order_release);
+    rec.seq1.store(seq + 1, std::memory_order_release);
+    // Gather the slow-path result (Fig 5 lines 48-54): the final reservation
+    // is in local_head; only the requester consumes it.
+    const u64 h = rec.local_head.load(std::memory_order_acquire) & kCounterMask;
+    const u64 j = remap_(codec_.pos_of(h));
+    const u64 raw = entries_[j].lo.load(std::memory_order_acquire);
+    const Entry e = codec_.unpack(raw);
+    if (e.cycle == codec_.cycle_of(h) && e.index != codec_.bottom()) {
+      assert(e.index != codec_.bottom_c() && "slot consumed by non-owner");
+      dbg(kEvGatherTaken, h, e.index);
+      consume(h, j, e);
+      return e.index;
+    }
+    dbg(kEvGatherEmpty, h);
+    return std::nullopt;
+  }
+
+  // --- introspection hooks (tests / benches) -------------------------------
+  i64 threshold() const {
+    return threshold_.value.load(std::memory_order_acquire);
+  }
+  u64 head() const { return head_.lo.load(std::memory_order_acquire); }
+  u64 tail() const { return tail_.lo.load(std::memory_order_acquire); }
+  // True if any registered thread currently advertises a pending request.
+  bool any_pending() const {
+    for (unsigned i = 0; i < n_records(); ++i) {
+      if (records_[i].pending.load(std::memory_order_acquire)) return true;
+    }
+    return false;
+  }
+
+  // Debug event hooks (tests only; default off). Called with the counter
+  // value (rank) at each state-changing event so a test harness can check
+  // global produce/consume accounting.
+  enum DebugEvent : int {
+    kEvProducedFast = 0,
+    kEvProducedSlow,
+    kEvConsumed,
+    kEvDeqBotMarkFast,   // dequeuer wrote the ⊥-mark at its cycle
+    kEvDeqBotMarkSlow,
+    kEvDeqUnsafeFast,    // dequeuer stripped IsSafe from an old live entry
+    kEvDeqUnsafeSlow,
+    kEvDeqRetryFast,     // fast dequeue left rank h with RETRY
+    kEvDeqEmptyFast,
+    kEvDeqSlowFalse,     // try_deq_slow abandoned rank h
+    kEvDeqSlowFinReady,  // helper saw the ready entry and set FIN
+    kEvDeqSlowFinEmpty,
+    kEvGatherTaken,      // requester consumed the slow-path result
+    kEvGatherEmpty,
+    kEvEnqSlowAvert,     // try_enq_slow watermarked Note
+    kEvEnqSlowFalse,
+    kEvP1Adv,            // phase-1 CAS advanced local to rank|INC (aux=old)
+    kEvP2Done,           // phase-2 CAS cleared INC at rank (helper or self)
+    kEvPublishOk,        // global CAS2 granted rank to the group
+    kEvReturnTrue,       // slow_faa handed rank to a cooperative thread
+    kEvFinFail,          // FIN CAS at rank failed (aux=observed local word)
+  };
+  struct DebugHooks {
+    void (*event)(void* ctx, int kind, u64 rank, u64 aux) = nullptr;
+    void* ctx = nullptr;
+  };
+  DebugHooks debug_hooks;
+
+  void dbg(int kind, u64 rank, u64 aux = 0) {
+    if (debug_hooks.event != nullptr) {
+      debug_hooks.event(debug_hooks.ctx, kind, rank, aux);
+    }
+  }
+
+  // Post-mortem diagnostic: dump ring slots and thread records to stderr.
+  // Not synchronized; only meaningful when the queue is quiescent/stuck.
+  void debug_dump() const {
+    std::fprintf(stderr, "WCQ dump: head=%llu tail=%llu threshold=%lld\n",
+                 (unsigned long long)head_.lo.load(),
+                 (unsigned long long)tail_.lo.load(),
+                 (long long)threshold_.value.load());
+    std::fprintf(stderr, "  head.ref=%llx tail.ref=%llx\n",
+                 (unsigned long long)head_.hi.load(),
+                 (unsigned long long)tail_.hi.load());
+    for (u64 pos = 0; pos < codec_.ring_size(); ++pos) {
+      const u64 j = remap_(pos);
+      const Entry e = codec_.unpack(entries_[j].lo.load());
+      std::fprintf(stderr,
+                   "  slot[pos=%llu j=%llu] cycle=%llu safe=%d enq=%d "
+                   "idx=%llu note=%llu\n",
+                   (unsigned long long)pos, (unsigned long long)j,
+                   (unsigned long long)e.cycle, e.safe ? 1 : 0, e.enq ? 1 : 0,
+                   (unsigned long long)e.index,
+                   (unsigned long long)entries_[j].hi.load());
+    }
+    for (unsigned i = 0; i < n_records(); ++i) {
+      const ThreadRec& r = records_[i];
+      std::fprintf(stderr,
+                   "  rec[%u] pending=%d enq=%d seq1=%llu seq2=%llu "
+                   "ltail=%llx itail=%llx lhead=%llx ihead=%llx idx=%llu\n",
+                   i, r.pending.load() ? 1 : 0, r.is_enqueue.load() ? 1 : 0,
+                   (unsigned long long)r.seq1.load(),
+                   (unsigned long long)r.seq2.load(),
+                   (unsigned long long)r.local_tail.load(),
+                   (unsigned long long)r.init_tail.load(),
+                   (unsigned long long)r.local_head.load(),
+                   (unsigned long long)r.init_head.load(),
+                   (unsigned long long)r.index.load());
+    }
+  }
+
+ private:
+  // ---- per-thread state (Fig 4) -------------------------------------------
+
+  // Second-phase help request: which record's local word must move from
+  // cnt|INC to cnt to finish a published increment.
+  struct Phase2Rec {
+    std::atomic<u64> seq1{1};
+    std::atomic<u64> local{0};  // address of the helpee's local counter word
+    std::atomic<u64> cnt{0};
+    std::atomic<u64> seq2{0};
+  };
+
+  struct alignas(kDestructiveRange) ThreadRec {
+    // Private fields — only the owning thread touches these.
+    u64 next_check = 1;
+    unsigned next_tid = 0;
+    // Shared fields.
+    Phase2Rec phase2;
+    std::atomic<u64> seq1{1};
+    std::atomic<bool> is_enqueue{false};
+    std::atomic<bool> pending{false};
+    std::atomic<u64> local_tail{0};
+    std::atomic<u64> init_tail{0};
+    std::atomic<u64> local_head{0};
+    std::atomic<u64> init_head{0};
+    std::atomic<u64> index{0};
+    std::atomic<u64> seq2{0};
+  };
+
+  // Flag bits stolen from local_tail / local_head (counters stay < 2^62).
+  static constexpr u64 kFin = u64{1} << 63;  // request finished: stop helping
+  static constexpr u64 kInc = u64{1} << 62;  // Phase 1 done, Phase 2 pending
+  static constexpr u64 kCounterMask = kInc - 1;
+
+  // Packed (tid, phase2 generation) tag published in the global pair's
+  // second word while an increment's Phase 2 is outstanding (deviation 1).
+  static constexpr unsigned kRefTidShift = 48;
+  static constexpr u64 kRefSeqMask = (u64{1} << kRefTidShift) - 1;
+  static u64 make_ref(unsigned tid, u64 seq) {
+    return (u64{tid} << kRefTidShift) | (seq & kRefSeqMask);
+  }
+  static unsigned ref_tid(u64 ref) {
+    return static_cast<unsigned>(ref >> kRefTidShift);
+  }
+  static u64 ref_seq(u64 ref) { return ref & kRefSeqMask; }
+
+  enum class DeqStatus { kOk, kEmpty, kRetry };
+
+  i64 threshold_max() const {
+    return static_cast<i64>(codec_.half() * 3 - 1);
+  }
+
+  u64 rec_index(const ThreadRec& r) const {
+    return static_cast<u64>(&r - records_.data());
+  }
+
+  ThreadRec& my_record() {
+    const unsigned tid = ThreadRegistry::tid();
+    if (tid >= opt_.max_threads) {
+      assert(false && "thread id exceeds WCQ max_threads");
+      __builtin_trap();
+    }
+    return records_[tid];
+  }
+
+  unsigned n_records() const {
+    const unsigned hw = ThreadRegistry::high_water();
+    return hw < opt_.max_threads ? hw : opt_.max_threads;
+  }
+
+  // ---- fast path (identical to SCQ modulo the pair layout) ----------------
+
+  bool try_enq(u64 index, u64& tail_out) {
+    const u64 t = tail_.lo.fetch_add(1, std::memory_order_seq_cst);
+    tail_out = t;
+    const u64 j = remap_(codec_.pos_of(t));
+    const u64 cycle_t = codec_.cycle_of(t);
+    u64 raw = entries_[j].lo.load(std::memory_order_acquire);
+    for (;;) {
+      const Entry e = codec_.unpack(raw);
+      if (e.cycle < cycle_t &&
+          (e.safe || head_.lo.load(std::memory_order_seq_cst) <= t) &&
+          !codec_.is_live_index(e.index)) {
+        // One-step insertion on the fast path: Enq=1 right away (Thm 5.9).
+        const u64 fresh = codec_.pack(cycle_t, true, true, index);
+        if (!entries_[j].lo.compare_exchange_strong(
+                raw, fresh, std::memory_order_seq_cst)) {
+          continue;
+        }
+        dbg(kEvProducedFast, t, index);
+        reset_threshold();
+        return true;
+      }
+      return false;
+    }
+  }
+
+  DeqStatus try_deq(u64& index_out, u64& head_out) {
+    const u64 h = head_.lo.fetch_add(1, std::memory_order_seq_cst);
+    head_out = h;
+    const u64 j = remap_(codec_.pos_of(h));
+    const u64 cycle_h = codec_.cycle_of(h);
+    u64 raw = entries_[j].lo.load(std::memory_order_acquire);
+    for (;;) {
+      const Entry e = codec_.unpack(raw);
+      if (e.cycle == cycle_h) {
+        assert(codec_.is_live_index(e.index) && "owner sees non-live index");
+        consume(h, j, e);
+        index_out = e.index;
+        return DeqStatus::kOk;
+      }
+      u64 fresh;
+      const bool live = codec_.is_live_index(e.index);
+      if (!live) {
+        fresh = codec_.pack(cycle_h, e.safe, true, codec_.bottom());
+      } else {
+        fresh = codec_.pack(e.cycle, false, e.enq, e.index);
+      }
+      if (e.cycle < cycle_h) {
+        if (!entries_[j].lo.compare_exchange_strong(
+                raw, fresh, std::memory_order_seq_cst)) {
+          continue;
+        }
+        dbg(live ? kEvDeqUnsafeFast : kEvDeqBotMarkFast, h);
+        const u64 t = tail_.lo.load(std::memory_order_seq_cst);
+        if (t <= h + 1) {
+          catchup(t, h + 1);
+          threshold_.value.fetch_sub(1, std::memory_order_seq_cst);
+          dbg(kEvDeqEmptyFast, h);
+          return DeqStatus::kEmpty;
+        }
+      }
+      if (threshold_.value.fetch_sub(1, std::memory_order_seq_cst) <= 0) {
+        dbg(kEvDeqEmptyFast, h);
+        return DeqStatus::kEmpty;
+      }
+      dbg(kEvDeqRetryFast, h);
+      return DeqStatus::kRetry;
+    }
+  }
+
+  void reset_threshold() {
+    if (threshold_.value.load(std::memory_order_seq_cst) != threshold_max()) {
+      threshold_.value.store(threshold_max(), std::memory_order_seq_cst);
+    }
+  }
+
+  void catchup(u64 tail, u64 head) {
+    for (int i = 0; i < kCatchupMax; ++i) {
+      if (tail_.lo.compare_exchange_strong(tail, head,
+                                           std::memory_order_seq_cst)) {
+        return;
+      }
+      head = head_.lo.load(std::memory_order_seq_cst);
+      tail = tail_.lo.load(std::memory_order_seq_cst);
+      if (tail >= head) return;
+    }
+  }
+
+  // ---- consume / finalize (Fig 5 lines 1-11) ------------------------------
+
+  void consume(u64 h, u64 j, const Entry& e) {
+    if (!e.enq) finalize_request(h);
+    entries_[j].lo.fetch_or(codec_.consume_mask(), std::memory_order_seq_cst);
+    dbg(kEvConsumed, h, e.index);
+  }
+
+  // An entry produced by a slow-path enqueuer (Enq=0) is being consumed:
+  // terminate that enqueuer's helpers by setting FIN on its local tail.
+  void finalize_request(u64 h) {
+    const unsigned self = ThreadRegistry::tid();
+    const unsigned n = n_records();
+    for (unsigned step = 1; step < n; ++step) {
+      const unsigned i = (self + step) % n;
+      std::atomic<u64>& lt = records_[i].local_tail;
+      const u64 cur = lt.load(std::memory_order_acquire);
+      if ((cur & kCounterMask) == h) {
+        u64 expect = h;  // only a clean (flag-free) value is finalized
+        lt.compare_exchange_strong(expect, h | kFin,
+                                   std::memory_order_seq_cst);
+        return;
+      }
+    }
+  }
+
+  // ---- helping (Fig 6) -----------------------------------------------------
+
+  void help_threads(ThreadRec& me) {
+    if (--me.next_check != 0) return;
+    me.next_check = opt_.help_delay;
+    const unsigned n = n_records();
+    if (me.next_tid >= n) me.next_tid = 0;
+    ThreadRec& thr = records_[me.next_tid];
+    if (&thr != &me && thr.pending.load(std::memory_order_acquire)) {
+      if (thr.is_enqueue.load(std::memory_order_acquire)) {
+        help_enqueue(thr);
+      } else {
+        help_dequeue(thr);
+      }
+    }
+    me.next_tid = (me.next_tid + 1) % n;
+  }
+
+  void help_enqueue(ThreadRec& thr) {
+    const u64 seq = thr.seq2.load(std::memory_order_acquire);
+    const bool enq = thr.is_enqueue.load(std::memory_order_acquire);
+    const u64 idx = thr.index.load(std::memory_order_acquire);
+    const u64 tail = thr.init_tail.load(std::memory_order_acquire);
+    // seq1 is read after the fields (acquire loads keep program order for
+    // later loads); equality proves the fields belong to generation `seq`.
+    if (enq && thr.seq1.load(std::memory_order_acquire) == seq) {
+      enqueue_slow(tail, idx, thr, seq);
+    }
+  }
+
+  void help_dequeue(ThreadRec& thr) {
+    const u64 seq = thr.seq2.load(std::memory_order_acquire);
+    const bool enq = thr.is_enqueue.load(std::memory_order_acquire);
+    const u64 head = thr.init_head.load(std::memory_order_acquire);
+    if (!enq && thr.seq1.load(std::memory_order_acquire) == seq) {
+      dequeue_slow(head, thr, seq);
+    }
+  }
+
+  // ---- slow path (Fig 7) ---------------------------------------------------
+
+  void enqueue_slow(u64 t, u64 index, ThreadRec& rec, u64 seq) {
+    u64 v = t;
+    while (slow_faa(tail_, rec.local_tail, v, /*thld=*/nullptr, rec, seq,
+                    /*init=*/t)) {
+      if (try_enq_slow(v, index, rec)) break;
+    }
+  }
+
+  void dequeue_slow(u64 h, ThreadRec& rec, u64 seq) {
+    u64 v = h;
+    while (slow_faa(head_, rec.local_head, v, &threshold_.value, rec, seq,
+                    /*init=*/h)) {
+      if (try_deq_slow(v, rec)) break;
+    }
+  }
+
+  // Fig 7 try_enq_slow. Returns true when the request's element is known to
+  // be inserted (by us or a peer); false means "advance to the next slot".
+  bool try_enq_slow(u64 t, u64 index, ThreadRec& rec) {
+    const u64 j = remap_(codec_.pos_of(t));
+    const u64 cycle_t = codec_.cycle_of(t);
+    for (;;) {
+      Pair128 pair = entries_[j].load_torn();
+      const Entry e = codec_.unpack(pair.lo);
+      const u64 note = pair.hi;
+      if (e.cycle < cycle_t && note < cycle_t) {
+        if (!(e.safe || head_.lo.load(std::memory_order_seq_cst) <= t) ||
+            codec_.is_live_index(e.index)) {
+          // Unusable: watermark Note so every cooperating thread skips this
+          // slot even if the condition later turns true for them.
+          if (!EntryOps::update_note(entries_[j], pair, cycle_t)) continue;
+          dbg(kEvEnqSlowAvert, t, rec_index(rec));
+          return false;
+        }
+        // Produce the entry two-step: Enq=0 first.
+        const Pair128 produced{codec_.pack(cycle_t, true, false, index),
+                               note};
+        if (!EntryOps::update_value(entries_[j], pair, produced.lo)) continue;
+        dbg(kEvProducedSlow, t, index);
+        // Finalize the help request, then flip Enq to 1 (Fig 7 lines 14-17).
+        u64 expect = t;
+        if (rec.local_tail.compare_exchange_strong(
+                expect, t | kFin, std::memory_order_seq_cst)) {
+          // Flip Enq to 1; on failure the consumer's OR flips it instead.
+          EntryOps::update_value(entries_[j], produced,
+                                 codec_.pack(cycle_t, true, true, index));
+        }
+        reset_threshold();
+        return true;
+      }
+      if (e.cycle != cycle_t) {
+        dbg(kEvEnqSlowFalse, t, rec_index(rec));
+        return false;
+      }
+      // Cycle matches: either a peer inserted this request's element (live
+      // index, or ⊥c once the requester consumed it) — success — or a
+      // dequeuer with the *same counter value* arrived first and ⊥-marked
+      // the slot, in which case nothing was inserted and the group must
+      // move to the next reservation. The paper's Fig 7 line 19/20 elides
+      // the ⊥ case; treating it as success silently drops the element
+      // (deviation 3, DESIGN.md §3).
+      return e.index != codec_.bottom();
+    }
+  }
+
+  // Fig 7 try_deq_slow. Returns true when the result for this request is
+  // decided (element ready at `h`, or queue empty); the requester gathers
+  // the actual value afterwards (Fig 5 lines 48-54).
+  bool try_deq_slow(u64 h, ThreadRec& rec) {
+    const u64 j = remap_(codec_.pos_of(h));
+    const u64 cycle_h = codec_.cycle_of(h);
+    for (;;) {
+      Pair128 pair = entries_[j].load_torn();
+      const Entry e = codec_.unpack(pair.lo);
+      if (e.cycle == cycle_h && e.index != codec_.bottom()) {
+        // Ready (value) or already consumed by the requester (⊥c).
+        u64 expect = h;
+        if (!rec.local_head.compare_exchange_strong(
+                expect, h | kFin, std::memory_order_seq_cst)) {
+          dbg(kEvFinFail, h, expect);
+        }
+        dbg(kEvDeqSlowFinReady, h, rec_index(rec));
+        return true;
+      }
+      u64 note = pair.hi;
+      u64 val = codec_.pack(cycle_h, e.safe, true, codec_.bottom());
+      const bool live = codec_.is_live_index(e.index);
+      if (live) {
+        if (e.cycle < cycle_h && note < cycle_h) {
+          // Watermark so late helper dequeuers do not revisit this slot.
+          if (!EntryOps::update_note(entries_[j], pair, cycle_h)) continue;
+          pair.hi = cycle_h;
+          note = cycle_h;
+        }
+        val = codec_.pack(e.cycle, false, e.enq, e.index);
+      }
+      if (e.cycle < cycle_h) {
+        if (!EntryOps::update_value(entries_[j], pair, val)) continue;
+        dbg(live ? kEvDeqUnsafeSlow : kEvDeqBotMarkSlow, h);
+      }
+      const u64 t = tail_.lo.load(std::memory_order_seq_cst);
+      if (t <= h + 1) {
+        catchup(t, h + 1);
+        if (threshold_.value.load(std::memory_order_seq_cst) < 0) {
+          u64 expect = h;
+          if (!rec.local_head.compare_exchange_strong(
+                  expect, h | kFin, std::memory_order_seq_cst) &&
+              (expect & kFin) == 0) {
+            dbg(kEvFinFail, h, expect);
+            return false;  // group advanced; the request is not finished
+          }
+          dbg(kEvDeqSlowFinEmpty, h, rec_index(rec));
+          return true;  // queue is empty
+        }
+      }
+      dbg(kEvDeqSlowFalse, h, rec_index(rec));
+      return false;
+    }
+  }
+
+  // Fig 7 slow_F&A: a helped, two-phase replacement for F&A on the global
+  // Head/Tail pair. All cooperating threads of one request agree on each
+  // reserved counter value through the request's local word; the global
+  // counter moves exactly once per reservation. On return `v` holds the
+  // reserved counter (true) or the request is finished (false).
+  bool slow_faa(AtomicPair128& global, std::atomic<u64>& local, u64& v,
+                std::atomic<i64>* thld, ThreadRec& req_rec, u64 req_seq,
+                u64 init) {
+    const unsigned my = ThreadRegistry::tid();
+    Phase2Rec& p2 = records_[my].phase2;
+    for (;;) {
+      u64 cnt = 0;
+      const bool have_cnt = load_global_help_phase2(global, local, cnt);
+      bool advanced = false;
+      if (have_cnt) {
+        u64 expect = v;
+        if (local.compare_exchange_strong(expect, cnt | kInc,
+                                          std::memory_order_seq_cst)) {
+          dbg(kEvP1Adv, cnt, v);
+          v = cnt | kInc;  // Phase 1 complete (for this attempt)
+          advanced = true;
+        }
+      }
+      if (!advanced) {
+        v = local.load(std::memory_order_acquire);
+        // Deviation 2 (DESIGN.md §3): a bare read of the shared word is only
+        // trusted if the request generation still matches; otherwise this
+        // helper is operating on a dead request and must stop.
+        if (req_rec.seq1.load(std::memory_order_acquire) != req_seq) {
+          return false;
+        }
+        if ((v & kFin) != 0) return false;
+        if ((v & kInc) == 0) {
+          // The request's baseline (the failed fast-path rank) is only a CAS
+          // anchor: the fast path already exhausted that rank, and handing
+          // it out as a reservation would let a production/FIN race the
+          // bootstrap phase-1 CAS (deviation 5, DESIGN.md §3). Loop instead;
+          // the next phase-1 CAS anchored at it will advance the group.
+          if (v == init) continue;
+          dbg(kEvReturnTrue, v, rec_index(req_rec));
+          return true;  // already reserved; v is the slot
+        }
+        cnt = v & kCounterMask;
+      }
+      // Publish the increment together with a Phase-2 help tag.
+      const u64 gen = prepare_phase2(p2, &local, cnt);
+      Pair128 expect{cnt, 0};
+      if (dwcas(global, expect, Pair128{cnt + 1, make_ref(my, gen)})) {
+        dbg(kEvPublishOk, cnt, rec_index(req_rec));
+        // Exactly one thread reaches here per reservation: the threshold is
+        // decremented once per global Head change (Lemma 5.6).
+        if (thld != nullptr) {
+          thld->fetch_sub(1, std::memory_order_seq_cst);
+        }
+        u64 e = cnt | kInc;
+        if (local.compare_exchange_strong(e, cnt, std::memory_order_seq_cst)) {
+          dbg(kEvP2Done, cnt);
+        }
+        Pair128 gexp{cnt + 1, make_ref(my, gen)};
+        dwcas(global, gexp, Pair128{cnt + 1, 0});  // failure: others clear it
+        v = cnt;
+        dbg(kEvReturnTrue, v, rec_index(req_rec));
+        return true;
+      }
+    }
+  }
+
+  u64 prepare_phase2(Phase2Rec& p2, std::atomic<u64>* local, u64 cnt) {
+    const u64 gen = p2.seq1.load(std::memory_order_relaxed) + 1;
+    p2.seq1.store(gen, std::memory_order_release);
+    p2.local.store(reinterpret_cast<u64>(local), std::memory_order_release);
+    p2.cnt.store(cnt, std::memory_order_release);
+    p2.seq2.store(gen, std::memory_order_release);
+    return gen;
+  }
+
+  // Fig 7 load_global_help_phase2: read the global counter, first helping to
+  // complete (and clear) any published Phase-2 request. Returns false when
+  // the caller's request is finished (FIN observed on its local word).
+  bool load_global_help_phase2(AtomicPair128& global, std::atomic<u64>& local,
+                               u64& cnt_out) {
+    for (;;) {
+      if ((local.load(std::memory_order_acquire) & kFin) != 0) return false;
+      const u64 gcnt = global.lo.load(std::memory_order_seq_cst);
+      const u64 gref = global.hi.load(std::memory_order_acquire);
+      if (gref == 0) {
+        cnt_out = gcnt;
+        return true;
+      }
+      // Help the publisher identified by the (tid, generation) tag. The help
+      // CAS only fires if the record still holds that generation's data
+      // (deviation 1), which also proves the increment was published.
+      Phase2Rec& p2 = records_[ref_tid(gref)].phase2;
+      const u64 s2 = p2.seq2.load(std::memory_order_acquire);
+      if ((s2 & kRefSeqMask) == ref_seq(gref)) {
+        const u64 laddr = p2.local.load(std::memory_order_acquire);
+        const u64 cnt = p2.cnt.load(std::memory_order_acquire);
+        // The generation tag in gref pins the record content to the exact
+        // increment that published this reference; a stale gref (left
+        // dangling by a failed clear) sees a bumped generation and skips.
+        // Note gcnt may legitimately be far ahead of cnt+1 here — fast-path
+        // F&As keep moving the counter word while the reference lingers —
+        // so no relation between gcnt and cnt may be assumed; skipping the
+        // help on such a mismatch (while still clearing the reference
+        // below) would let a cooperative thread's stale phase-1 anchor
+        // succeed and make the group abandon a granted reservation.
+        if (p2.seq1.load(std::memory_order_acquire) == s2) {
+          auto* lp = reinterpret_cast<std::atomic<u64>*>(laddr);
+          u64 expect = cnt | kInc;
+          if (lp->compare_exchange_strong(expect, cnt,
+                                          std::memory_order_seq_cst)) {
+            dbg(kEvP2Done, cnt);
+          }
+        }
+      }
+      Pair128 gexp{gcnt, gref};
+      dwcas(global, gexp, Pair128{gcnt, 0});
+      // Loop: re-read; the reference is gone or the state moved on.
+    }
+  }
+
+  static constexpr int kCatchupMax = 8;
+
+  Options opt_;
+  EntryCodec codec_;
+  CacheRemap remap_;
+  alignas(kDestructiveRange) AtomicPair128 tail_;
+  char pad_t_[kDestructiveRange - sizeof(AtomicPair128)];
+  AtomicPair128 head_;
+  char pad_h_[kDestructiveRange - sizeof(AtomicPair128)];
+  CacheAligned<std::atomic<i64>> threshold_;
+  AlignedArray<AtomicPair128> entries_;
+  AlignedArray<ThreadRec> records_;
+};
+
+// The paper's wCQ: CAS2-based entry updates (x86-64 / AArch64).
+using WCQ = BasicWCQ<Cas2EntryOps>;
+
+}  // namespace wcq

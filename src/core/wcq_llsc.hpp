@@ -1,0 +1,45 @@
+// wCQ for architectures with ordinary LL/SC (paper §4, Fig 9).
+//
+// PowerPC and MIPS lack CAS2. The paper's §4 observation: wCQ's slow path
+// needs to *read* both words of an entry pair but only ever *updates* one of
+// them at a time, so the pair can live in one LL/SC reservation granule —
+// LL one word, plain-load the other, SC the updated word; the SC fails if
+// *anything* in the granule changed (reservation-granule semantics). This
+// gives weak-CAS behavior: sporadic failures, single-word load atomicity on
+// failure — both of which wCQ's retry loops tolerate.
+//
+// Substitution note (DESIGN.md §4): no PowerPC hardware is available here,
+// so the reservation granule is modeled by portability/llsc.hpp on top of
+// CAS2, with optional injected sporadic SC failures to exercise the weak
+// semantics. The global Head/Tail pairs keep CAS2 in this build; the paper
+// replaces those with a single-word CAS over a (thread-index, 48-bit
+// counter) packing, a narrowing that is orthogonal to the Fig 9 entry
+// decomposition validated here.
+#pragma once
+
+#include "core/wcq.hpp"
+#include "portability/llsc.hpp"
+
+namespace wcq {
+
+// Fig 9: CAS2_Value / CAS2_Note replacements via LL/SC.
+struct LlscEntryOps {
+  static bool update_value(AtomicPair128& e, const Pair128& expected,
+                           u64 new_value) {
+    const Pair128 prev = LLSCSim::load_linked(e);
+    if (!(prev == expected)) return false;
+    return LLSCSim::store_conditional_lo(e, new_value);
+  }
+  static bool update_note(AtomicPair128& e, const Pair128& expected,
+                          u64 new_note) {
+    const Pair128 prev = LLSCSim::load_linked(e);
+    if (!(prev == expected)) return false;
+    return LLSCSim::store_conditional_hi(e, new_note);
+  }
+};
+
+// The portable wCQ variant (paper §4). Same algorithm, same guarantees;
+// entry-pair updates go through the LL/SC reservation-granule model.
+using WCQLLSC = BasicWCQ<LlscEntryOps>;
+
+}  // namespace wcq

@@ -1,0 +1,83 @@
+#include "portability/llsc.hpp"
+
+#include <atomic>
+
+#include "common/rng.hpp"
+#include "runtime/thread_registry.hpp"
+
+namespace wcq {
+
+namespace {
+
+struct Reservation {
+  AtomicPair128* granule = nullptr;
+  Pair128 snapshot{0, 0};
+};
+
+thread_local Reservation t_reservation;
+
+std::atomic<std::uint64_t> g_failure_rate_permille{0};
+std::atomic<std::uint64_t> g_injected{0};
+
+bool inject_failure() {
+  const std::uint64_t permille =
+      g_failure_rate_permille.load(std::memory_order_relaxed);
+  if (permille == 0) return false;
+  thread_local Xoshiro256 rng{0xC0FFEEULL + ThreadRegistry::tid()};
+  if (rng.bounded(1000) < permille) {
+    g_injected.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Pair128 LLSCSim::load_linked(AtomicPair128& granule) {
+  // The snapshot itself may be torn; a torn snapshot can never match the
+  // granule at SC time as a pair, so the SC simply fails — the same behavior
+  // as losing the reservation, which callers must handle anyway.
+  const Pair128 snap = granule.load_torn(std::memory_order_seq_cst);
+  t_reservation = Reservation{&granule, snap};
+  return snap;
+}
+
+bool LLSCSim::store_conditional(AtomicPair128& granule, Pair128 desired) {
+  Reservation r = t_reservation;
+  t_reservation = Reservation{};  // reservations are single-shot
+  if (r.granule != &granule) return false;
+  if (inject_failure()) return false;
+  Pair128 expected = r.snapshot;
+  return dwcas(granule, expected, desired);
+}
+
+bool LLSCSim::store_conditional_lo(AtomicPair128& granule, u64 new_lo) {
+  const Reservation& r = t_reservation;
+  if (r.granule != &granule) return false;
+  return store_conditional(granule, Pair128{new_lo, r.snapshot.hi});
+}
+
+bool LLSCSim::store_conditional_hi(AtomicPair128& granule, u64 new_hi) {
+  const Reservation& r = t_reservation;
+  if (r.granule != &granule) return false;
+  return store_conditional(granule, Pair128{r.snapshot.lo, new_hi});
+}
+
+void LLSCSim::set_spurious_failure_rate(double p) {
+  if (p < 0) p = 0;
+  if (p > 1) p = 1;
+  g_failure_rate_permille.store(static_cast<std::uint64_t>(p * 1000.0),
+                                std::memory_order_relaxed);
+}
+
+double LLSCSim::spurious_failure_rate() {
+  return static_cast<double>(
+             g_failure_rate_permille.load(std::memory_order_relaxed)) /
+         1000.0;
+}
+
+std::uint64_t LLSCSim::injected_failures() {
+  return g_injected.load(std::memory_order_relaxed);
+}
+
+}  // namespace wcq

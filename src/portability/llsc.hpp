@@ -1,0 +1,52 @@
+// Simulated weak LL/SC over 16-byte reservation granules (paper §4).
+//
+// PowerPC and MIPS lack CAS2; the paper implements wCQ there with LL/SC
+// whose reservation granule spans both words of an entry pair, loading the
+// second word with a plain (dependency-ordered) load between LL and SC. We
+// cannot run PowerPC hardware here (see DESIGN.md §4), so this module
+// provides a behavioral model of weak LL/SC on x86:
+//
+//  * LL(granule) records a snapshot of the whole 16-byte granule for the
+//    calling thread.
+//  * SC(granule, word, value) succeeds iff the *entire* granule is unchanged
+//    since LL (reservation-granule semantics: an intervening write to the
+//    other word kills the reservation too, exactly the false-sharing
+//    behavior §4 describes) — implemented with one CAS2.
+//  * Optional sporadic failure injection models weak LL/SC's spurious SC
+//    failures (OS events, cache evictions). Tests run the full wCQ suite
+//    with failure rates up to 50%.
+//
+// Fig 9's CAS2_Value / CAS2_Note replacements are built on this model in
+// core/wcq_llsc.hpp.
+#pragma once
+
+#include <cstdint>
+
+#include "common/dwcas.hpp"
+
+namespace wcq {
+
+class LLSCSim {
+ public:
+  // Load-linked: snapshot the granule and open a reservation for this thread.
+  static Pair128 load_linked(AtomicPair128& granule);
+
+  // Store-conditional to one word of the reserved granule. Returns false if
+  // the granule changed since load_linked, if there is no reservation, or on
+  // an injected sporadic failure.
+  static bool store_conditional_lo(AtomicPair128& granule, u64 new_lo);
+  static bool store_conditional_hi(AtomicPair128& granule, u64 new_hi);
+
+  // Probability in [0,1] that an otherwise-successful SC spuriously fails.
+  // Global, test-only. Default 0.
+  static void set_spurious_failure_rate(double p);
+  static double spurious_failure_rate();
+
+  // Test hook: number of SCs that failed due to injection.
+  static std::uint64_t injected_failures();
+
+ private:
+  static bool store_conditional(AtomicPair128& granule, Pair128 desired);
+};
+
+}  // namespace wcq

@@ -1,0 +1,126 @@
+#include "reclaim/hazard_pointers.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/alloc_meter.hpp"
+
+namespace wcq {
+
+namespace {
+constexpr unsigned kMaxThreads = ThreadRegistry::kMaxThreads;
+}
+
+struct HazardDomain::Impl {
+  struct alignas(kCacheLine) SlotRow {
+    std::atomic<void*> slots[HazardDomain::kSlotsPerThread];
+  };
+
+  struct Retired {
+    void* p;
+    void (*deleter)(void*);
+  };
+
+  struct alignas(kCacheLine) RetireRow {
+    // Only the owning tid mutates its row; scans read rows of live tids.
+    std::vector<Retired> list;
+  };
+
+  SlotRow rows[kMaxThreads] = {};
+  RetireRow retired[kMaxThreads] = {};
+  std::atomic<std::size_t> retired_total{0};
+};
+
+HazardDomain::HazardDomain() : impl_(new Impl) {}
+HazardDomain::~HazardDomain() {
+  drain();
+  delete impl_;
+}
+
+HazardDomain& HazardDomain::global() {
+  static HazardDomain d;
+  return d;
+}
+
+void* HazardDomain::protect_raw(unsigned slot,
+                                const std::atomic<void*>& src) {
+  auto& cell = impl_->rows[ThreadRegistry::tid()].slots[slot];
+  void* p = src.load(std::memory_order_acquire);
+  for (;;) {
+    cell.store(p, std::memory_order_seq_cst);
+    void* again = src.load(std::memory_order_acquire);
+    if (again == p) return p;
+    p = again;
+  }
+}
+
+void HazardDomain::set_raw(unsigned slot, void* p) {
+  impl_->rows[ThreadRegistry::tid()].slots[slot].store(
+      p, std::memory_order_seq_cst);
+}
+
+void HazardDomain::clear(unsigned slot) {
+  impl_->rows[ThreadRegistry::tid()].slots[slot].store(
+      nullptr, std::memory_order_release);
+}
+
+void HazardDomain::clear_all() {
+  auto& row = impl_->rows[ThreadRegistry::tid()];
+  for (auto& s : row.slots) s.store(nullptr, std::memory_order_release);
+}
+
+void HazardDomain::retire(void* p, void (*deleter)(void*)) {
+  const unsigned tid = ThreadRegistry::tid();
+  auto& list = impl_->retired[tid].list;
+  list.push_back(Impl::Retired{p, deleter});
+  impl_->retired_total.fetch_add(1, std::memory_order_relaxed);
+  // Scan threshold: 2x the maximum number of simultaneously-protected
+  // pointers, the usual amortization that bounds retired garbage.
+  const std::size_t threshold =
+      2 * kSlotsPerThread * (ThreadRegistry::high_water() + 1);
+  if (list.size() >= threshold) scan(tid);
+}
+
+void HazardDomain::scan(unsigned tid) {
+  // Snapshot all published hazards.
+  std::vector<void*> hazards;
+  const unsigned hw = ThreadRegistry::high_water();
+  hazards.reserve(static_cast<std::size_t>(hw) * kSlotsPerThread);
+  for (unsigned t = 0; t < hw; ++t) {
+    for (const auto& s : impl_->rows[t].slots) {
+      void* p = s.load(std::memory_order_seq_cst);
+      if (p != nullptr) hazards.push_back(p);
+    }
+  }
+  std::sort(hazards.begin(), hazards.end());
+
+  auto& list = impl_->retired[tid].list;
+  std::vector<Impl::Retired> keep;
+  keep.reserve(list.size());
+  for (const auto& r : list) {
+    if (std::binary_search(hazards.begin(), hazards.end(), r.p)) {
+      keep.push_back(r);
+    } else {
+      impl_->retired_total.fetch_sub(1, std::memory_order_relaxed);
+      r.deleter(r.p);
+    }
+  }
+  list.swap(keep);
+}
+
+void HazardDomain::drain() {
+  for (unsigned t = 0; t < kMaxThreads; ++t) {
+    auto& list = impl_->retired[t].list;
+    for (const auto& r : list) {
+      impl_->retired_total.fetch_sub(1, std::memory_order_relaxed);
+      r.deleter(r.p);
+    }
+    list.clear();
+  }
+}
+
+std::size_t HazardDomain::retired_count() const {
+  return impl_->retired_total.load(std::memory_order_relaxed);
+}
+
+}  // namespace wcq

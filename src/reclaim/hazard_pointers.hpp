@@ -1,0 +1,83 @@
+// Hazard-pointer memory reclamation (Michael, 2004).
+//
+// The paper's evaluation uses hazard pointers for the node/ring reclamation
+// of MSQueue, LCRQ and CRTurn (§6: "we use customized reclamation for YMC
+// and hazard pointers elsewhere"). This is a classic bounded implementation:
+// a fixed table of per-thread hazard slots (indexed by the process-wide
+// ThreadRegistry tid) and per-thread retire lists scanned when they exceed a
+// threshold proportional to the number of registered threads.
+//
+// Retired-but-unreclaimed memory stays visible to the Fig 10 alloc meter
+// because the owning queues allocate their nodes through alloc_meter and the
+// deleter only runs at reclamation time.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+
+#include "common/align.hpp"
+#include "runtime/thread_registry.hpp"
+
+namespace wcq {
+
+class HazardDomain {
+ public:
+  static constexpr unsigned kSlotsPerThread = 4;
+
+  HazardDomain();
+  ~HazardDomain();
+  HazardDomain(const HazardDomain&) = delete;
+  HazardDomain& operator=(const HazardDomain&) = delete;
+
+  // Process-wide default domain (queues may also own private domains).
+  static HazardDomain& global();
+
+  // Publish `src`'s current value in the calling thread's hazard slot and
+  // re-validate until stable. Returns the protected pointer.
+  template <typename T>
+  T* protect(unsigned slot, const std::atomic<T*>& src) {
+    void* p = protect_raw(slot, reinterpret_cast<const std::atomic<void*>&>(src));
+    return static_cast<T*>(p);
+  }
+
+  // Publish an already-loaded pointer (caller re-validates the source).
+  template <typename T>
+  void set(unsigned slot, T* p) {
+    set_raw(slot, static_cast<void*>(p));
+  }
+
+  void clear(unsigned slot);
+  void clear_all();
+
+  // Hand `p` to the domain; `deleter(p)` runs once no thread protects it.
+  void retire(void* p, void (*deleter)(void*));
+
+  // Drain every retire list that can be drained (called by queue dtors;
+  // correct only when no other thread is inside the data structure).
+  void drain();
+
+  // Test hooks.
+  std::size_t retired_count() const;
+
+ private:
+  void* protect_raw(unsigned slot, const std::atomic<void*>& src);
+  void set_raw(unsigned slot, void* p);
+  void scan(unsigned tid);
+
+  struct Impl;
+  Impl* impl_;
+};
+
+// RAII guard clearing a domain's slots on scope exit.
+class HazardGuard {
+ public:
+  explicit HazardGuard(HazardDomain& d) : d_(d) {}
+  ~HazardGuard() { d_.clear_all(); }
+  HazardGuard(const HazardGuard&) = delete;
+  HazardGuard& operator=(const HazardGuard&) = delete;
+
+ private:
+  HazardDomain& d_;
+};
+
+}  // namespace wcq

@@ -1,0 +1,67 @@
+#include "runtime/thread_registry.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace wcq {
+
+namespace {
+
+constexpr unsigned kWords = ThreadRegistry::kMaxThreads / 64;
+
+std::atomic<std::uint64_t> g_bitmap[kWords];
+std::atomic<unsigned> g_high_water{0};
+std::atomic<unsigned> g_live{0};
+
+unsigned acquire_slot() {
+  for (unsigned w = 0; w < kWords; ++w) {
+    std::uint64_t bits = g_bitmap[w].load(std::memory_order_relaxed);
+    while (bits != ~std::uint64_t{0}) {
+      const unsigned bit = static_cast<unsigned>(__builtin_ctzll(~bits));
+      if (g_bitmap[w].compare_exchange_weak(bits, bits | (1ULL << bit),
+                                            std::memory_order_acq_rel)) {
+        const unsigned slot = w * 64 + bit;
+        unsigned hw = g_high_water.load(std::memory_order_relaxed);
+        while (hw < slot + 1 && !g_high_water.compare_exchange_weak(
+                                    hw, slot + 1, std::memory_order_relaxed)) {
+        }
+        g_live.fetch_add(1, std::memory_order_relaxed);
+        return slot;
+      }
+    }
+  }
+  std::fprintf(stderr,
+               "wcq: more than %u concurrent threads registered; rebuild with "
+               "a larger ThreadRegistry::kMaxThreads\n",
+               ThreadRegistry::kMaxThreads);
+  std::abort();
+}
+
+void release_slot(unsigned slot) {
+  g_bitmap[slot / 64].fetch_and(~(1ULL << (slot % 64)),
+                                std::memory_order_acq_rel);
+  g_live.fetch_sub(1, std::memory_order_relaxed);
+}
+
+struct SlotHolder {
+  unsigned slot;
+  SlotHolder() : slot(acquire_slot()) {}
+  ~SlotHolder() { release_slot(slot); }
+};
+
+}  // namespace
+
+unsigned ThreadRegistry::tid() {
+  thread_local SlotHolder holder;
+  return holder.slot;
+}
+
+unsigned ThreadRegistry::high_water() {
+  return g_high_water.load(std::memory_order_acquire);
+}
+
+unsigned ThreadRegistry::live_threads() {
+  return g_live.load(std::memory_order_relaxed);
+}
+
+}  // namespace wcq

@@ -1,0 +1,37 @@
+// Process-wide thread-slot registry.
+//
+// wCQ's helping protocol needs a bounded array of per-thread records indexed
+// by a dense thread id (the paper's NUM_THRDS / TID). We assign each OS
+// thread a dense slot on first use and release it when the thread exits, so
+// short-lived threads (common in tests) recycle low ids and per-queue record
+// arrays stay small.
+//
+// Slot acquisition is a lock-free scan over a bitmap; it runs once per thread
+// lifetime, after which `tid()` is a thread_local read.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace wcq {
+
+class ThreadRegistry {
+ public:
+  // Upper bound on simultaneously-live registered threads. Queues may be
+  // configured with a smaller `max_threads`; they reject tids beyond it.
+  static constexpr unsigned kMaxThreads = 256;
+
+  // Dense id of the calling thread; acquires a slot on first call.
+  // Terminates the process if more than kMaxThreads threads are live
+  // (documented hard limit, as in the paper's static NUM_THRDS).
+  static unsigned tid();
+
+  // One past the highest slot ever acquired; helping loops iterate only
+  // [0, high_water()) instead of the full kMaxThreads.
+  static unsigned high_water();
+
+  // Number of currently-held slots (test hook).
+  static unsigned live_threads();
+};
+
+}  // namespace wcq

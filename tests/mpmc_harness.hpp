@@ -1,0 +1,147 @@
+// Shared multi-producer/multi-consumer correctness harness.
+//
+// Every queue in this library (the wCQ/SCQ rings, the Fig 2 bounded queues,
+// the unbounded queue, and all six baselines) is exercised through the same
+// checks:
+//
+//   * exactly-once: every enqueued item is dequeued exactly once, nothing
+//     is invented, nothing is lost;
+//   * per-producer FIFO: items from one producer are observed in order by
+//     whichever consumers receive them (FIFO linearizability implies this);
+//   * terminal emptiness: after all items are consumed the queue reports
+//     empty.
+//
+// Items are tagged (producer id << 32 | sequence) so both properties are
+// checkable from the consumer side alone.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "common/cpu.hpp"
+
+namespace wcq::testing {
+
+using u64 = std::uint64_t;
+
+struct MpmcConfig {
+  unsigned producers = 4;
+  unsigned consumers = 4;
+  u64 items_per_producer = 20000;
+  bool pin = false;
+};
+
+inline u64 tag(unsigned producer, u64 seq) {
+  return (static_cast<u64>(producer) << 32) | seq;
+}
+
+// Queue concept: bool enqueue(u64) (false = full, retry) and
+// std::optional<u64> dequeue() (nullopt = empty).
+template <typename Queue>
+void run_mpmc_exactly_once(Queue& q, const MpmcConfig& cfg) {
+  const u64 total = cfg.items_per_producer * cfg.producers;
+  std::atomic<u64> consumed{0};
+  std::atomic<bool> start{false};
+
+  // Per-consumer logs of observed items, merged and checked afterwards.
+  std::vector<std::vector<u64>> logs(cfg.consumers);
+
+  std::vector<std::thread> threads;
+  threads.reserve(cfg.producers + cfg.consumers);
+
+  for (unsigned p = 0; p < cfg.producers; ++p) {
+    threads.emplace_back([&, p] {
+      if (cfg.pin) pin_thread(p);
+      while (!start.load(std::memory_order_acquire)) cpu_relax();
+      for (u64 i = 0; i < cfg.items_per_producer; ++i) {
+        while (!q.enqueue(tag(p, i))) cpu_relax();
+      }
+    });
+  }
+  for (unsigned c = 0; c < cfg.consumers; ++c) {
+    threads.emplace_back([&, c] {
+      if (cfg.pin) pin_thread(cfg.producers + c);
+      auto& log = logs[c];
+      log.reserve(total / cfg.consumers + 16);
+      while (!start.load(std::memory_order_acquire)) cpu_relax();
+      while (consumed.load(std::memory_order_relaxed) < total) {
+        if (auto v = q.dequeue()) {
+          log.push_back(*v);
+          consumed.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          cpu_relax();
+        }
+      }
+    });
+  }
+
+  start.store(true, std::memory_order_release);
+  for (auto& t : threads) t.join();
+
+  ASSERT_EQ(consumed.load(), total);
+  ASSERT_FALSE(q.dequeue().has_value()) << "queue not empty at the end";
+
+  // exactly-once + per-producer FIFO.
+  std::vector<std::vector<u64>> seen(cfg.producers);
+  for (unsigned c = 0; c < cfg.consumers; ++c) {
+    std::vector<u64> last(cfg.producers, 0);
+    std::vector<bool> has_last(cfg.producers, false);
+    for (u64 v : logs[c]) {
+      const unsigned p = static_cast<unsigned>(v >> 32);
+      const u64 seq = v & 0xFFFFFFFFu;
+      ASSERT_LT(p, cfg.producers) << "invented producer id";
+      ASSERT_LT(seq, cfg.items_per_producer) << "invented sequence";
+      if (has_last[p]) {
+        ASSERT_GT(seq, last[p])
+            << "per-producer FIFO violated within one consumer";
+      }
+      last[p] = seq;
+      has_last[p] = true;
+      seen[p].push_back(seq);
+    }
+  }
+  for (unsigned p = 0; p < cfg.producers; ++p) {
+    ASSERT_EQ(seen[p].size(), cfg.items_per_producer)
+        << "producer " << p << " item count mismatch";
+    std::vector<bool> mark(cfg.items_per_producer, false);
+    for (u64 s : seen[p]) {
+      ASSERT_FALSE(mark[s]) << "duplicate delivery of item " << s;
+      mark[s] = true;
+    }
+  }
+}
+
+// Single-threaded strict-FIFO check, applicable to every queue type.
+template <typename Queue>
+void run_sequential_fifo(Queue& q, u64 n) {
+  ASSERT_FALSE(q.dequeue().has_value());
+  for (u64 i = 0; i < n; ++i) ASSERT_TRUE(q.enqueue(i));
+  for (u64 i = 0; i < n; ++i) {
+    auto v = q.dequeue();
+    ASSERT_TRUE(v.has_value());
+    ASSERT_EQ(*v, i) << "FIFO order violated";
+  }
+  ASSERT_FALSE(q.dequeue().has_value());
+}
+
+// Interleaved enqueue/dequeue bursts exercising wraparound many times.
+template <typename Queue>
+void run_sequential_wraparound(Queue& q, u64 burst, u64 rounds) {
+  u64 next_in = 0, next_out = 0;
+  for (u64 r = 0; r < rounds; ++r) {
+    for (u64 i = 0; i < burst; ++i) ASSERT_TRUE(q.enqueue(next_in++));
+    for (u64 i = 0; i < burst; ++i) {
+      auto v = q.dequeue();
+      ASSERT_TRUE(v.has_value());
+      ASSERT_EQ(*v, next_out++);
+    }
+    ASSERT_FALSE(q.dequeue().has_value());
+  }
+}
+
+}  // namespace wcq::testing

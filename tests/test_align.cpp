@@ -1,0 +1,74 @@
+#include "common/align.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+
+namespace wcq {
+namespace {
+
+TEST(Align, CacheAlignedOccupiesFullLine) {
+  EXPECT_EQ(sizeof(CacheAligned<std::uint32_t>), kCacheLine);
+  EXPECT_EQ(sizeof(CacheAligned<std::uint64_t>), kCacheLine);
+  EXPECT_EQ(alignof(CacheAligned<std::uint64_t>), kCacheLine);
+  struct Big {
+    char b[80];
+  };
+  EXPECT_EQ(sizeof(CacheAligned<Big>), 2 * kCacheLine);
+}
+
+TEST(Align, AlignedArrayAlignment) {
+  AlignedArray<std::atomic<std::uint64_t>> a(1000, kCacheLine);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(a.data()) % kCacheLine, 0u);
+  EXPECT_EQ(a.size(), 1000u);
+  a[0].store(42);
+  a[999].store(7);
+  EXPECT_EQ(a[0].load(), 42u);
+  EXPECT_EQ(a[999].load(), 7u);
+}
+
+int g_counted_live = 0;
+struct Counted {
+  Counted() { ++g_counted_live; }
+  ~Counted() { --g_counted_live; }
+};
+
+TEST(Align, AlignedArrayConstructsElements) {
+  {
+    AlignedArray<Counted> a(17, 64);
+    EXPECT_EQ(g_counted_live, 17);
+  }
+  EXPECT_EQ(g_counted_live, 0);
+}
+
+TEST(Align, AlignedArrayMove) {
+  AlignedArray<int> a(8, 64);
+  a[3] = 99;
+  AlignedArray<int> b(std::move(a));
+  EXPECT_EQ(b[3], 99);
+  EXPECT_EQ(a.data(), nullptr);
+  AlignedArray<int> c;
+  c = std::move(b);
+  EXPECT_EQ(c[3], 99);
+}
+
+TEST(Align, Pow2Helpers) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(64));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(63));
+  EXPECT_EQ(log2_floor(1), 0u);
+  EXPECT_EQ(log2_floor(2), 1u);
+  EXPECT_EQ(log2_floor(65536), 16u);
+}
+
+TEST(Align, RoundUp) {
+  EXPECT_EQ((AlignedArray<int>::round_up(0, 64)), 0u);
+  EXPECT_EQ((AlignedArray<int>::round_up(1, 64)), 64u);
+  EXPECT_EQ((AlignedArray<int>::round_up(64, 64)), 64u);
+  EXPECT_EQ((AlignedArray<int>::round_up(65, 64)), 128u);
+}
+
+}  // namespace
+}  // namespace wcq

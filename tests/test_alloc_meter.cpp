@@ -1,0 +1,75 @@
+#include "common/alloc_meter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace wcq {
+namespace {
+
+TEST(AllocMeter, LiveBytesTrackAllocations) {
+  const auto before = alloc_meter::live_bytes();
+  void* a = alloc_meter::allocate(1000);
+  void* b = alloc_meter::allocate(24);
+  EXPECT_EQ(alloc_meter::live_bytes() - before, 1024);
+  alloc_meter::deallocate(a, 1000);
+  EXPECT_EQ(alloc_meter::live_bytes() - before, 24);
+  alloc_meter::deallocate(b, 24);
+  EXPECT_EQ(alloc_meter::live_bytes() - before, 0);
+}
+
+TEST(AllocMeter, PeakIsMonotoneUntilReset) {
+  alloc_meter::reset_peak();
+  const auto base = alloc_meter::peak_bytes();
+  void* a = alloc_meter::allocate(1 << 20);
+  EXPECT_GE(alloc_meter::peak_bytes(), base + (1 << 20));
+  alloc_meter::deallocate(a, 1 << 20);
+  EXPECT_GE(alloc_meter::peak_bytes(), base + (1 << 20));  // peak sticks
+  alloc_meter::reset_peak();
+  EXPECT_LT(alloc_meter::peak_bytes(), base + (1 << 20));
+}
+
+TEST(AllocMeter, CreateDestroyRunConstructors) {
+  struct Obj {
+    int* target;
+    explicit Obj(int* t) : target(t) { *target = 1; }
+    ~Obj() { *target = 2; }
+  };
+  int flag = 0;
+  Obj* o = alloc_meter::create<Obj>(&flag);
+  EXPECT_EQ(flag, 1);
+  alloc_meter::destroy(o);
+  EXPECT_EQ(flag, 2);
+}
+
+TEST(AllocMeter, MeteredAllocatorWithVector) {
+  const auto before = alloc_meter::live_bytes();
+  {
+    std::vector<int, alloc_meter::MeteredAllocator<int>> v;
+    v.resize(10000);
+    EXPECT_GE(alloc_meter::live_bytes() - before,
+              static_cast<std::int64_t>(10000 * sizeof(int)));
+  }
+  EXPECT_EQ(alloc_meter::live_bytes() - before, 0);
+}
+
+TEST(AllocMeter, ConcurrentAccountingBalances) {
+  const auto before = alloc_meter::live_bytes();
+  constexpr int kThreads = 8;
+  constexpr int kIters = 5000;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([] {
+      for (int i = 0; i < kIters; ++i) {
+        void* p = alloc_meter::allocate(64);
+        alloc_meter::deallocate(p, 64);
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(alloc_meter::live_bytes() - before, 0);
+}
+
+}  // namespace
+}  // namespace wcq

@@ -1,0 +1,122 @@
+// BoundedQueue (paper Fig 2 indirection) tests over both ring types.
+#include "core/bounded_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "core/wcq_llsc.hpp"
+#include "mpmc_harness.hpp"
+
+namespace wcq {
+namespace {
+
+template <typename Ring>
+class BoundedQueueTest : public ::testing::Test {};
+
+using RingTypes = ::testing::Types<WCQ, SCQ, WCQLLSC>;
+TYPED_TEST_SUITE(BoundedQueueTest, RingTypes);
+
+TYPED_TEST(BoundedQueueTest, SequentialFifo) {
+  BoundedQueue<u64, TypeParam> q(8);
+  testing::run_sequential_fifo(q, q.capacity());
+}
+
+TYPED_TEST(BoundedQueueTest, Wraparound) {
+  BoundedQueue<u64, TypeParam> q(4);
+  testing::run_sequential_wraparound(q, q.capacity(), 200);
+}
+
+TYPED_TEST(BoundedQueueTest, FullSemantics) {
+  BoundedQueue<u64, TypeParam> q(3);
+  for (u64 i = 0; i < q.capacity(); ++i) {
+    EXPECT_TRUE(q.enqueue(i)) << "queue full too early at " << i;
+  }
+  EXPECT_FALSE(q.enqueue(999)) << "enqueue must fail when full";
+  auto v = q.dequeue();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 0u);
+  EXPECT_TRUE(q.enqueue(999)) << "one slot freed: enqueue must succeed";
+  EXPECT_FALSE(q.enqueue(1000));
+}
+
+TYPED_TEST(BoundedQueueTest, MpmcExactlyOnce) {
+  BoundedQueue<u64, TypeParam> q(10);
+  testing::MpmcConfig cfg;
+  cfg.producers = 4;
+  cfg.consumers = 4;
+  cfg.items_per_producer = 30000;
+  testing::run_mpmc_exactly_once(q, cfg);
+}
+
+TYPED_TEST(BoundedQueueTest, MpmcTinyQueueBackpressure) {
+  BoundedQueue<u64, TypeParam> q(2);  // capacity 4: producers hit full often
+  testing::MpmcConfig cfg;
+  cfg.producers = 3;
+  cfg.consumers = 3;
+  cfg.items_per_producer = 10000;
+  testing::run_mpmc_exactly_once(q, cfg);
+}
+
+TYPED_TEST(BoundedQueueTest, AsymmetricProducersConsumers) {
+  BoundedQueue<u64, TypeParam> q(8);
+  testing::MpmcConfig cfg;
+  cfg.producers = 7;
+  cfg.consumers = 1;
+  cfg.items_per_producer = 10000;
+  testing::run_mpmc_exactly_once(q, cfg);
+  BoundedQueue<u64, TypeParam> q2(8);
+  cfg.producers = 1;
+  cfg.consumers = 7;
+  testing::run_mpmc_exactly_once(q2, cfg);
+}
+
+TYPED_TEST(BoundedQueueTest, MoveOnlyPayload) {
+  BoundedQueue<std::unique_ptr<int>, TypeParam> q(4);
+  EXPECT_TRUE(q.enqueue(std::make_unique<int>(41)));
+  EXPECT_TRUE(q.enqueue(std::make_unique<int>(42)));
+  auto a = q.dequeue();
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(**a, 41);
+  auto b = q.dequeue();
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(**b, 42);
+  EXPECT_FALSE(q.dequeue().has_value());
+}
+
+TYPED_TEST(BoundedQueueTest, StringPayload) {
+  BoundedQueue<std::string, TypeParam> q(4);
+  const std::string long_string(1000, 'x');  // heap-allocated payload
+  EXPECT_TRUE(q.enqueue(long_string + "1"));
+  EXPECT_TRUE(q.enqueue(long_string + "2"));
+  EXPECT_EQ(q.dequeue().value(), long_string + "1");
+  EXPECT_EQ(q.dequeue().value(), long_string + "2");
+}
+
+int g_payload_live = 0;
+struct CountedPayload {
+  bool owns = true;
+  CountedPayload() { ++g_payload_live; }
+  CountedPayload(CountedPayload&& o) noexcept {
+    ++g_payload_live;
+    o.owns = false;
+  }
+  CountedPayload(const CountedPayload&) = delete;
+  ~CountedPayload() { --g_payload_live; }
+};
+
+TYPED_TEST(BoundedQueueTest, DestructorReleasesInFlightPayloads) {
+  g_payload_live = 0;
+  {
+    BoundedQueue<CountedPayload, TypeParam> q(4);
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(q.enqueue(CountedPayload{}));
+    }
+    ASSERT_TRUE(q.dequeue().has_value());
+  }
+  EXPECT_EQ(g_payload_live, 0) << "payloads leaked by queue destructor";
+}
+
+}  // namespace
+}  // namespace wcq

@@ -1,0 +1,92 @@
+#include "core/entry.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wcq {
+namespace {
+
+class EntryCodecTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(EntryCodecTest, Geometry) {
+  const unsigned order = GetParam();
+  EntryCodec c(order);
+  EXPECT_EQ(c.ring_size(), u64{1} << (order + 1));
+  EXPECT_EQ(c.half(), u64{1} << order);
+  EXPECT_EQ(c.bottom(), c.ring_size() - 2);
+  EXPECT_EQ(c.bottom_c(), c.ring_size() - 1);
+  // ⊥ and ⊥c never collide with live indices [0, n).
+  EXPECT_GE(c.bottom(), c.half());
+  EXPECT_FALSE(c.is_live_index(c.bottom()));
+  EXPECT_FALSE(c.is_live_index(c.bottom_c()));
+  EXPECT_TRUE(c.is_live_index(0));
+  EXPECT_TRUE(c.is_live_index(c.half() - 1));
+}
+
+TEST_P(EntryCodecTest, PackUnpackRoundTrip) {
+  const unsigned order = GetParam();
+  EntryCodec c(order);
+  const u64 cycles[] = {0, 1, 2, 12345, (u64{1} << 40)};
+  const u64 indices[] = {0, 1, c.half() - 1, c.bottom(), c.bottom_c()};
+  for (u64 cy : cycles) {
+    for (u64 idx : indices) {
+      for (bool safe : {false, true}) {
+        for (bool enq : {false, true}) {
+          const Entry e = c.unpack(c.pack(cy, safe, enq, idx));
+          EXPECT_EQ(e.cycle, cy);
+          EXPECT_EQ(e.safe, safe);
+          EXPECT_EQ(e.enq, enq);
+          EXPECT_EQ(e.index, idx);
+        }
+      }
+    }
+  }
+}
+
+TEST_P(EntryCodecTest, ConsumeMaskPreservesCycleAndSafe) {
+  const unsigned order = GetParam();
+  EntryCodec c(order);
+  // consume = OR with (⊥c | Enq); Cycle and IsSafe must be untouched and
+  // the index must become ⊥c with Enq set — the paper's Fig 5 line 3.
+  for (u64 cy : {u64{1}, u64{77}, u64{1} << 30}) {
+    for (bool safe : {false, true}) {
+      for (bool enq : {false, true}) {
+        const u64 raw = c.pack(cy, safe, enq, 3 % c.half());
+        const Entry e = c.unpack(raw | c.consume_mask());
+        EXPECT_EQ(e.cycle, cy);
+        EXPECT_EQ(e.safe, safe);
+        EXPECT_TRUE(e.enq);
+        EXPECT_EQ(e.index, c.bottom_c());
+      }
+    }
+  }
+}
+
+TEST_P(EntryCodecTest, CounterDecomposition) {
+  const unsigned order = GetParam();
+  EntryCodec c(order);
+  const u64 R = c.ring_size();
+  EXPECT_EQ(c.pos_of(R), 0u);
+  EXPECT_EQ(c.cycle_of(R), 1u);  // counters start at R = cycle 1
+  EXPECT_EQ(c.pos_of(R + 5), 5u % R);
+  EXPECT_EQ(c.cycle_of(3 * R + (7 % R)), 3u);
+  // Reconstruction: counter = cycle * R + pos.
+  for (u64 ctr : {R, R + 1, 5 * R + 3, u64{1} << 40}) {
+    EXPECT_EQ(c.cycle_of(ctr) * R + c.pos_of(ctr), ctr);
+  }
+}
+
+TEST_P(EntryCodecTest, InitialEntryIsOldestPossible) {
+  const unsigned order = GetParam();
+  EntryCodec c(order);
+  const Entry e = c.unpack(c.initial());
+  EXPECT_EQ(e.cycle, 0u);
+  EXPECT_TRUE(e.safe);
+  EXPECT_TRUE(e.enq);
+  EXPECT_EQ(e.index, c.bottom());
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, EntryCodecTest,
+                         ::testing::Values(1u, 2u, 3u, 8u, 15u, 20u));
+
+}  // namespace
+}  // namespace wcq

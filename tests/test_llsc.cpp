@@ -1,0 +1,142 @@
+// Simulated weak LL/SC (paper §4) behavioral tests.
+#include "portability/llsc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace wcq {
+namespace {
+
+class LlscTest : public ::testing::Test {
+ protected:
+  void TearDown() override { LLSCSim::set_spurious_failure_rate(0.0); }
+};
+
+TEST_F(LlscTest, LoadLinkedSnapshotsBothWords) {
+  AtomicPair128 g;
+  g.lo.store(11);
+  g.hi.store(22);
+  const Pair128 snap = LLSCSim::load_linked(g);
+  EXPECT_EQ(snap.lo, 11u);
+  EXPECT_EQ(snap.hi, 22u);
+}
+
+TEST_F(LlscTest, StoreConditionalSucceedsWhenUntouched) {
+  AtomicPair128 g;
+  g.lo.store(1);
+  g.hi.store(2);
+  LLSCSim::load_linked(g);
+  EXPECT_TRUE(LLSCSim::store_conditional_lo(g, 100));
+  EXPECT_EQ(g.lo.load(), 100u);
+  EXPECT_EQ(g.hi.load(), 2u);  // other word untouched
+}
+
+TEST_F(LlscTest, StoreConditionalHiPreservesLo) {
+  AtomicPair128 g;
+  g.lo.store(7);
+  g.hi.store(8);
+  LLSCSim::load_linked(g);
+  EXPECT_TRUE(LLSCSim::store_conditional_hi(g, 99));
+  EXPECT_EQ(g.lo.load(), 7u);
+  EXPECT_EQ(g.hi.load(), 99u);
+}
+
+TEST_F(LlscTest, ReservationIsSingleShot) {
+  AtomicPair128 g;
+  g.lo.store(1);
+  g.hi.store(2);
+  LLSCSim::load_linked(g);
+  EXPECT_TRUE(LLSCSim::store_conditional_lo(g, 10));
+  // Second SC without a fresh LL must fail.
+  EXPECT_FALSE(LLSCSim::store_conditional_lo(g, 20));
+  EXPECT_EQ(g.lo.load(), 10u);
+}
+
+TEST_F(LlscTest, ScFailsWithoutReservation) {
+  AtomicPair128 g;
+  g.lo.store(0);
+  g.hi.store(0);
+  EXPECT_FALSE(LLSCSim::store_conditional_lo(g, 1));
+}
+
+TEST_F(LlscTest, ScFailsIfSameWordChanged) {
+  AtomicPair128 g;
+  g.lo.store(5);
+  g.hi.store(6);
+  LLSCSim::load_linked(g);
+  g.lo.store(50);  // interference
+  EXPECT_FALSE(LLSCSim::store_conditional_lo(g, 7));
+  EXPECT_EQ(g.lo.load(), 50u);
+}
+
+TEST_F(LlscTest, ScFailsIfOtherWordInGranuleChanged) {
+  // The reservation granule spans both words: writing the *other* word must
+  // kill the reservation — the false-sharing semantics §4 relies on.
+  AtomicPair128 g;
+  g.lo.store(5);
+  g.hi.store(6);
+  LLSCSim::load_linked(g);
+  g.hi.store(60);
+  EXPECT_FALSE(LLSCSim::store_conditional_lo(g, 7));
+  EXPECT_EQ(g.lo.load(), 5u);
+  EXPECT_EQ(g.hi.load(), 60u);
+}
+
+TEST_F(LlscTest, ReservationIsPerGranule) {
+  AtomicPair128 a, b;
+  a.lo.store(1);
+  a.hi.store(1);
+  b.lo.store(2);
+  b.hi.store(2);
+  LLSCSim::load_linked(a);
+  EXPECT_FALSE(LLSCSim::store_conditional_lo(b, 9)) << "wrong granule";
+  EXPECT_TRUE(LLSCSim::store_conditional_lo(a, 9));
+}
+
+TEST_F(LlscTest, InjectedFailuresOccurAtConfiguredRate) {
+  AtomicPair128 g;
+  g.lo.store(0);
+  g.hi.store(0);
+  LLSCSim::set_spurious_failure_rate(0.5);
+  const u64 before = LLSCSim::injected_failures();
+  int failures = 0;
+  constexpr int kTries = 4000;
+  for (int i = 0; i < kTries; ++i) {
+    LLSCSim::load_linked(g);
+    if (!LLSCSim::store_conditional_lo(g, static_cast<u64>(i))) ++failures;
+  }
+  const u64 injected = LLSCSim::injected_failures() - before;
+  EXPECT_EQ(static_cast<u64>(failures), injected);  // no real interference
+  EXPECT_GT(failures, kTries / 4);
+  EXPECT_LT(failures, 3 * kTries / 4);
+}
+
+TEST_F(LlscTest, ConcurrentCountersViaLlScAreExact) {
+  AtomicPair128 g;
+  g.lo.store(0);
+  g.hi.store(0);
+  constexpr int kThreads = 6;
+  constexpr int kIncrements = 20000;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&, t] {
+      for (int i = 0; i < kIncrements; ++i) {
+        for (;;) {
+          const Pair128 snap = LLSCSim::load_linked(g);
+          const bool ok = (t % 2 == 0)
+                              ? LLSCSim::store_conditional_lo(g, snap.lo + 1)
+                              : LLSCSim::store_conditional_hi(g, snap.hi + 1);
+          if (ok) break;
+        }
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(g.lo.load() + g.hi.load(),
+            static_cast<u64>(kThreads) * kIncrements);
+}
+
+}  // namespace
+}  // namespace wcq

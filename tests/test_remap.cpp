@@ -1,0 +1,73 @@
+#include "core/remap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace wcq {
+namespace {
+
+struct RemapCase {
+  u64 ring_size;
+  std::size_t slot_bytes;
+};
+
+class RemapTest : public ::testing::TestWithParam<RemapCase> {};
+
+TEST_P(RemapTest, IsAPermutation) {
+  const auto [size, bytes] = GetParam();
+  CacheRemap remap(size, bytes);
+  std::vector<bool> hit(size, false);
+  for (u64 i = 0; i < size; ++i) {
+    const u64 j = remap(i);
+    ASSERT_LT(j, size);
+    ASSERT_FALSE(hit[j]) << "position " << j << " mapped twice";
+    hit[j] = true;
+  }
+}
+
+TEST_P(RemapTest, AdjacentPositionsLandOnDifferentLines) {
+  const auto [size, bytes] = GetParam();
+  CacheRemap remap(size, bytes);
+  if (!remap.enabled()) GTEST_SKIP() << "identity map for tiny rings";
+  const u64 per_line = kCacheLine / bytes;
+  for (u64 i = 0; i + 1 < size; ++i) {
+    const u64 line_a = remap(i) / per_line;
+    const u64 line_b = remap(i + 1) / per_line;
+    ASSERT_NE(line_a, line_b) << "positions " << i << "," << i + 1
+                              << " share a cache line";
+  }
+}
+
+TEST_P(RemapTest, LineReuseDistanceIsMaximal) {
+  const auto [size, bytes] = GetParam();
+  CacheRemap remap(size, bytes);
+  if (!remap.enabled()) GTEST_SKIP();
+  const u64 per_line = kCacheLine / bytes;
+  const u64 lines = size / per_line;
+  // The transpose map revisits a line exactly every `lines` steps.
+  for (u64 i = 0; i + lines < size; i += lines / 3 + 1) {
+    EXPECT_EQ(remap(i) / per_line, remap(i + lines) / per_line);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, RemapTest,
+    ::testing::Values(RemapCase{1u << 16, 8}, RemapCase{1u << 16, 16},
+                      RemapCase{1u << 6, 8}, RemapCase{1u << 6, 16},
+                      RemapCase{16, 8}, RemapCase{4, 16}));
+
+TEST(Remap, DisabledIsIdentity) {
+  CacheRemap remap(1 << 10, 8, /*enabled=*/false);
+  EXPECT_FALSE(remap.enabled());
+  for (u64 i = 0; i < (1 << 10); ++i) EXPECT_EQ(remap(i), i);
+}
+
+TEST(Remap, TinyRingFallsBackToIdentity) {
+  CacheRemap remap(4, 8);  // 4 entries fit in one line: nothing to spread
+  EXPECT_FALSE(remap.enabled());
+  for (u64 i = 0; i < 4; ++i) EXPECT_EQ(remap(i), i);
+}
+
+}  // namespace
+}  // namespace wcq

@@ -1,0 +1,198 @@
+// SCQ (paper Fig 3) unit and concurrency tests.
+#include "core/scq.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/cpu.hpp"
+
+namespace wcq {
+namespace {
+
+TEST(Scq, StartsEmpty) {
+  SCQ q(4);
+  EXPECT_EQ(q.capacity(), 16u);
+  EXPECT_EQ(q.ring_size(), 32u);
+  EXPECT_EQ(q.threshold(), -1);
+  EXPECT_FALSE(q.dequeue().has_value());
+  EXPECT_FALSE(q.dequeue().has_value());
+}
+
+TEST(Scq, SingleElementRoundTrip) {
+  SCQ q(4);
+  q.enqueue(7);
+  auto v = q.dequeue();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 7u);
+  EXPECT_FALSE(q.dequeue().has_value());
+}
+
+TEST(Scq, FifoOrderWithinCapacity) {
+  SCQ q(6);
+  for (u64 i = 0; i < q.capacity(); ++i) q.enqueue(i);
+  for (u64 i = 0; i < q.capacity(); ++i) {
+    auto v = q.dequeue();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_FALSE(q.dequeue().has_value());
+}
+
+TEST(Scq, ThresholdResetOnEnqueue) {
+  SCQ q(4);
+  q.enqueue(0);
+  EXPECT_EQ(q.threshold(), static_cast<i64>(3 * q.capacity() - 1));
+}
+
+TEST(Scq, EmptyFastPathAfterDrain) {
+  SCQ q(4);
+  for (int round = 0; round < 3; ++round) {
+    q.enqueue(1);
+    ASSERT_TRUE(q.dequeue().has_value());
+    // Drive the threshold negative with failed dequeues...
+    for (u64 i = 0; i < 4 * q.capacity(); ++i) {
+      ASSERT_FALSE(q.dequeue().has_value());
+    }
+    EXPECT_LT(q.threshold(), 0);
+    // ...after which dequeue returns immediately without touching Head.
+    const u64 head_before = q.head();
+    EXPECT_FALSE(q.dequeue().has_value());
+    EXPECT_EQ(q.head(), head_before);
+  }
+}
+
+TEST(Scq, WraparoundManyCycles) {
+  SCQ q(3);  // capacity 8, ring 16: many wraps below
+  for (u64 i = 0; i < 10000; ++i) {
+    q.enqueue(i % q.capacity());
+    auto v = q.dequeue();
+    ASSERT_TRUE(v.has_value());
+    ASSERT_EQ(*v, i % q.capacity());
+  }
+  EXPECT_FALSE(q.dequeue().has_value());
+}
+
+TEST(Scq, BurstWraparound) {
+  SCQ q(5);
+  const u64 cap = q.capacity();
+  for (int round = 0; round < 300; ++round) {
+    for (u64 i = 0; i < cap; ++i) q.enqueue(i);
+    for (u64 i = 0; i < cap; ++i) {
+      auto v = q.dequeue();
+      ASSERT_TRUE(v.has_value());
+      ASSERT_EQ(*v, i);
+    }
+    ASSERT_FALSE(q.dequeue().has_value());
+  }
+}
+
+TEST(Scq, FullCapacityIsUsable) {
+  // The ring holds 2n slots; all n logical indices may be enqueued at once.
+  SCQ q(8);
+  for (u64 i = 0; i < q.capacity(); ++i) q.enqueue(i);
+  u64 count = 0;
+  while (q.dequeue().has_value()) ++count;
+  EXPECT_EQ(count, q.capacity());
+}
+
+TEST(Scq, RemapOffStillCorrect) {
+  SCQ q(5, /*cache_remap=*/false);
+  for (u64 i = 0; i < 2000; ++i) {
+    q.enqueue(i % q.capacity());
+    auto v = q.dequeue();
+    ASSERT_TRUE(v.has_value());
+    ASSERT_EQ(*v, i % q.capacity());
+  }
+}
+
+// Count-based MPMC check on the raw index ring: each producer repeatedly
+// enqueues its own id; totals per id must match exactly. A credit counter
+// enforces the ring precondition (at most capacity() live indices): raw
+// SCQ/wCQ Enqueue is only defined under that bound (paper §2, k <= n).
+void mpmc_count_test(SCQ& q, unsigned producers, unsigned consumers,
+                     u64 per_producer) {
+  ASSERT_LE(producers, q.capacity());
+  std::atomic<u64> consumed{0};
+  std::atomic<i64> credits{static_cast<i64>(q.capacity())};
+  const u64 total = per_producer * producers;
+  std::vector<std::atomic<u64>> counts(producers);
+  std::vector<std::thread> ts;
+  for (unsigned p = 0; p < producers; ++p) {
+    ts.emplace_back([&, p] {
+      for (u64 i = 0; i < per_producer; ++i) {
+        while (credits.fetch_sub(1, std::memory_order_acquire) <= 0) {
+          credits.fetch_add(1, std::memory_order_release);
+          cpu_relax();
+        }
+        q.enqueue(p);
+      }
+    });
+  }
+  for (unsigned c = 0; c < consumers; ++c) {
+    ts.emplace_back([&] {
+      while (consumed.load(std::memory_order_relaxed) < total) {
+        if (auto v = q.dequeue()) {
+          ASSERT_LT(*v, producers);
+          counts[*v].fetch_add(1, std::memory_order_relaxed);
+          consumed.fetch_add(1, std::memory_order_relaxed);
+          credits.fetch_add(1, std::memory_order_release);
+        } else {
+          cpu_relax();
+        }
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  for (unsigned p = 0; p < producers; ++p) {
+    EXPECT_EQ(counts[p].load(), per_producer) << "producer " << p;
+  }
+  EXPECT_FALSE(q.dequeue().has_value());
+}
+
+TEST(Scq, MpmcExactCounts) {
+  SCQ q(10);
+  mpmc_count_test(q, 4, 4, 50000);
+}
+
+TEST(Scq, MpmcSmallRingHighContention) {
+  SCQ q(3);  // capacity 8 with 6 threads: constant wraparound pressure
+  mpmc_count_test(q, 3, 3, 30000);
+}
+
+TEST(Scq, MpmcManyConsumersOnEmptyish) {
+  SCQ q(6);
+  mpmc_count_test(q, 1, 7, 40000);
+}
+
+TEST(Scq, SpscPipeline) {
+  SCQ q(4);
+  constexpr u64 kItems = 200000;
+  std::atomic<i64> credits{static_cast<i64>(q.capacity())};
+  std::thread prod([&] {
+    for (u64 i = 0; i < kItems; ++i) {
+      while (credits.fetch_sub(1, std::memory_order_acquire) <= 0) {
+        credits.fetch_add(1, std::memory_order_release);
+        cpu_relax();
+      }
+      q.enqueue(i % q.capacity());
+    }
+  });
+  u64 received = 0;
+  u64 expect = 0;
+  while (received < kItems) {
+    if (auto v = q.dequeue()) {
+      ASSERT_EQ(*v, expect % q.capacity());  // SPSC preserves exact order
+      ++expect;
+      ++received;
+      credits.fetch_add(1, std::memory_order_release);
+    }
+  }
+  prod.join();
+  EXPECT_FALSE(q.dequeue().has_value());
+}
+
+}  // namespace
+}  // namespace wcq

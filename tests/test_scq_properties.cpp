@@ -1,0 +1,87 @@
+// Property sweeps for SCQ (the paper's Fig 3 substrate): the exactly-once /
+// per-producer-FIFO property across ring sizes and thread mixes, through
+// the Fig 2 indirection (which is how SCQ is meant to be consumed).
+#include <gtest/gtest.h>
+
+#include "core/bounded_queue.hpp"
+#include "mpmc_harness.hpp"
+
+namespace wcq {
+namespace {
+
+struct ScqCase {
+  unsigned order;
+  unsigned producers;
+  unsigned consumers;
+  u64 items;
+  bool remap;
+};
+
+std::ostream& operator<<(std::ostream& os, const ScqCase& c) {
+  return os << "order" << c.order << "_p" << c.producers << "c" << c.consumers
+            << (c.remap ? "_remap" : "_noremap");
+}
+
+class ScqSweep : public ::testing::TestWithParam<ScqCase> {};
+
+// Bounded queue glued over SCQ rings with explicit remap control.
+class ScqBounded {
+ public:
+  explicit ScqBounded(const ScqCase& c)
+      : aq_(c.order, c.remap), fq_(c.order, c.remap),
+        data_(u64{1} << c.order) {
+    for (u64 i = 0; i < data_.size(); ++i) fq_.enqueue(i);
+  }
+  bool enqueue(u64 v) {
+    const auto idx = fq_.dequeue();
+    if (!idx) return false;
+    data_[*idx] = v;
+    aq_.enqueue(*idx);
+    return true;
+  }
+  std::optional<u64> dequeue() {
+    const auto idx = aq_.dequeue();
+    if (!idx) return std::nullopt;
+    const u64 v = data_[*idx];
+    fq_.enqueue(*idx);
+    return v;
+  }
+
+ private:
+  SCQ aq_;
+  SCQ fq_;
+  std::vector<u64> data_;
+};
+
+TEST_P(ScqSweep, ExactlyOnceAndPerProducerFifo) {
+  const ScqCase& c = GetParam();
+  ScqBounded q(c);
+  testing::MpmcConfig cfg;
+  cfg.producers = c.producers;
+  cfg.consumers = c.consumers;
+  cfg.items_per_producer = c.items;
+  testing::run_mpmc_exactly_once(q, cfg);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RingSizes, ScqSweep,
+    ::testing::Values(ScqCase{1, 2, 2, 5000, true},
+                      ScqCase{2, 3, 3, 8000, true},
+                      ScqCase{4, 4, 4, 15000, true},
+                      ScqCase{10, 4, 4, 30000, true},
+                      ScqCase{14, 4, 4, 30000, true}));
+
+INSTANTIATE_TEST_SUITE_P(
+    ThreadMixes, ScqSweep,
+    ::testing::Values(ScqCase{6, 1, 1, 40000, true},
+                      ScqCase{6, 7, 1, 8000, true},
+                      ScqCase{6, 1, 7, 40000, true},
+                      ScqCase{6, 6, 6, 8000, true}));
+
+INSTANTIATE_TEST_SUITE_P(
+    RemapOff, ScqSweep,
+    ::testing::Values(ScqCase{4, 4, 4, 10000, false},
+                      ScqCase{8, 6, 2, 8000, false}));
+
+}  // namespace
+}  // namespace wcq

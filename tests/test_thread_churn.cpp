@@ -1,0 +1,144 @@
+// Thread-churn tests: queues whose users are short-lived threads.
+//
+// wCQ keeps per-thread help records indexed by the process-wide registry
+// tid; tids are recycled when threads exit. These tests verify that record
+// reuse across unrelated threads (and across queue types sharing the
+// registry) never corrupts queue state — the seq1/seq2 request-generation
+// protocol must make a recycled record indistinguishable from a fresh one.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "baselines/crturn_queue.hpp"
+#include "core/bounded_queue.hpp"
+#include "runtime/thread_registry.hpp"
+
+namespace wcq {
+namespace {
+
+TEST(ThreadChurn, SequentialEphemeralThreads) {
+  BoundedQueue<u64> q(6);
+  // 300 generations of short-lived producer/consumer pairs; tids recycle.
+  for (int gen = 0; gen < 300; ++gen) {
+    std::thread prod([&, gen] {
+      for (u64 i = 0; i < 50; ++i) {
+        ASSERT_TRUE(q.enqueue(static_cast<u64>(gen) * 100 + i));
+      }
+    });
+    prod.join();
+    std::thread cons([&, gen] {
+      for (u64 i = 0; i < 50; ++i) {
+        auto v = q.dequeue();
+        ASSERT_TRUE(v.has_value());
+        ASSERT_EQ(*v, static_cast<u64>(gen) * 100 + i);
+      }
+    });
+    cons.join();
+  }
+  EXPECT_FALSE(q.dequeue().has_value());
+}
+
+TEST(ThreadChurn, ConcurrentWavesWithSlowPath) {
+  // Waves of threads come and go while the queue stays live; patience 1
+  // forces helping across the recycled records.
+  WCQ::Options o;
+  o.order = 6;
+  o.enq_patience = 1;
+  o.deq_patience = 1;
+  o.help_delay = 1;
+  WCQ q(o);
+  std::atomic<u64> balance{0};
+
+  for (int wave = 0; wave < 20; ++wave) {
+    std::vector<std::thread> ts;
+    std::atomic<u64> produced{0}, consumed{0};
+    for (int p = 0; p < 3; ++p) {
+      ts.emplace_back([&] {
+        for (int i = 0; i < 800; ++i) {
+          if (balance.load(std::memory_order_relaxed) < q.capacity() / 2) {
+            q.enqueue(1);
+            balance.fetch_add(1, std::memory_order_relaxed);
+            produced.fetch_add(1, std::memory_order_relaxed);
+          } else if (q.dequeue()) {
+            balance.fetch_sub(1, std::memory_order_relaxed);
+            consumed.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    for (auto& t : ts) t.join();
+    // No invariant on produced/consumed per wave; drained at the end.
+  }
+  u64 drained = 0;
+  while (q.dequeue()) ++drained;
+  EXPECT_EQ(drained, balance.load());
+}
+
+TEST(ThreadChurn, RegistrySharedAcrossQueueKinds) {
+  // The same recycled tids serve a wCQ bounded queue and a CRTurn queue in
+  // alternating generations; per-queue records must not interfere.
+  BoundedQueue<u64> bq(5);
+  CRTurnQueue cq;
+  for (int gen = 0; gen < 100; ++gen) {
+    std::thread t([&, gen] {
+      for (u64 i = 0; i < 20; ++i) {
+        if (gen % 2 == 0) {
+          ASSERT_TRUE(bq.enqueue(i));
+          ASSERT_EQ(bq.dequeue().value(), i);
+        } else {
+          ASSERT_TRUE(cq.enqueue(i));
+          ASSERT_EQ(cq.dequeue().value(), i);
+        }
+      }
+    });
+    t.join();
+  }
+  EXPECT_FALSE(bq.dequeue().has_value());
+  EXPECT_FALSE(cq.dequeue().has_value());
+}
+
+TEST(ThreadChurn, HelpRequestsSurviveHelperExit) {
+  // A requester's helpers may exit (and their tids be recycled) while the
+  // request is still pending; the requester must still complete.
+  WCQ::Options o;
+  o.order = 4;
+  o.enq_patience = 1;
+  o.deq_patience = 1;
+  o.help_delay = 1;
+  WCQ q(o);
+  std::atomic<bool> stop{false};
+  std::atomic<u64> moved{0};
+
+  std::thread longlived([&] {
+    u64 in = 0, out = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      if (in - out < q.capacity()) {
+        q.enqueue(in++ % q.capacity());
+      }
+      if (q.dequeue()) {
+        ++out;
+        moved.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    while (q.dequeue()) {
+    }
+  });
+  // Churning helpers.
+  for (int gen = 0; gen < 120; ++gen) {
+    std::thread helper([&] {
+      for (int i = 0; i < 200; ++i) {
+        q.enqueue(0);
+        (void)q.dequeue();
+      }
+    });
+    helper.join();
+  }
+  stop.store(true, std::memory_order_release);
+  longlived.join();
+  EXPECT_GT(moved.load(), 0u);
+}
+
+}  // namespace
+}  // namespace wcq

@@ -1,0 +1,71 @@
+#include "runtime/thread_registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace wcq {
+namespace {
+
+TEST(ThreadRegistry, TidIsStablePerThread) {
+  const unsigned a = ThreadRegistry::tid();
+  const unsigned b = ThreadRegistry::tid();
+  EXPECT_EQ(a, b);
+  EXPECT_LT(a, ThreadRegistry::kMaxThreads);
+  EXPECT_GE(ThreadRegistry::high_water(), a + 1);
+}
+
+TEST(ThreadRegistry, DistinctTidsAcrossLiveThreads) {
+  constexpr unsigned kThreads = 16;
+  std::vector<unsigned> tids(kThreads);
+  std::atomic<unsigned> arrived{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> ts;
+  for (unsigned i = 0; i < kThreads; ++i) {
+    ts.emplace_back([&, i] {
+      tids[i] = ThreadRegistry::tid();
+      arrived.fetch_add(1);
+      while (!go.load()) {
+      }  // hold the slot until everyone registered
+    });
+  }
+  while (arrived.load() < kThreads) {
+  }
+  go.store(true);
+  for (auto& t : ts) t.join();
+  std::set<unsigned> unique(tids.begin(), tids.end());
+  EXPECT_EQ(unique.size(), kThreads);
+}
+
+TEST(ThreadRegistry, SlotsAreRecycledAfterThreadExit) {
+  // Run many short-lived threads sequentially; the slot pool must not grow
+  // without bound (this is what keeps per-queue record arrays small).
+  const unsigned hw_before = ThreadRegistry::high_water();
+  for (int i = 0; i < 200; ++i) {
+    std::thread([] { (void)ThreadRegistry::tid(); }).join();
+  }
+  // At most a couple of extra slots (gtest internals may register too).
+  EXPECT_LE(ThreadRegistry::high_water(), hw_before + 4);
+}
+
+TEST(ThreadRegistry, LiveThreadsCountsHeldSlots) {
+  const unsigned before = ThreadRegistry::live_threads();
+  std::atomic<bool> go{false};
+  std::atomic<bool> registered{false};
+  std::thread t([&] {
+    (void)ThreadRegistry::tid();
+    registered.store(true);
+    while (!go.load()) {
+    }
+  });
+  while (!registered.load()) {
+  }
+  EXPECT_GE(ThreadRegistry::live_threads(), before + 1);
+  go.store(true);
+  t.join();
+}
+
+}  // namespace
+}  // namespace wcq

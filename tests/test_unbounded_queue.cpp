@@ -1,0 +1,100 @@
+// Unbounded queue (paper Appendix A): FIFO across segment boundaries,
+// exactly-once under contention, and bounded segment-list growth.
+#include "core/unbounded_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/wcq_llsc.hpp"
+#include "mpmc_harness.hpp"
+#include "reclaim/hazard_pointers.hpp"
+
+namespace wcq {
+namespace {
+
+template <typename Ring>
+class UnboundedQueueTest : public ::testing::Test {};
+
+using RingTypes = ::testing::Types<WCQ, SCQ, WCQLLSC>;
+TYPED_TEST_SUITE(UnboundedQueueTest, RingTypes);
+
+TYPED_TEST(UnboundedQueueTest, StartsEmpty) {
+  UnboundedQueue<u64, TypeParam> q(4);
+  EXPECT_FALSE(q.dequeue().has_value());
+  EXPECT_EQ(q.live_segments(), 1u);
+}
+
+TYPED_TEST(UnboundedQueueTest, GrowsPastOneSegment) {
+  UnboundedQueue<u64, TypeParam> q(3);  // 8 elements per segment
+  for (u64 i = 0; i < 100; ++i) {
+    ASSERT_TRUE(q.enqueue(i));
+  }
+  EXPECT_GT(q.live_segments(), 1u);
+  for (u64 i = 0; i < 100; ++i) {
+    auto v = q.dequeue();
+    ASSERT_TRUE(v.has_value());
+    ASSERT_EQ(*v, i) << "FIFO broken across segment boundary";
+  }
+  EXPECT_FALSE(q.dequeue().has_value());
+}
+
+TYPED_TEST(UnboundedQueueTest, SequentialFifoLong) {
+  UnboundedQueue<u64, TypeParam> q(4);
+  testing::run_sequential_fifo(q, 20000);
+}
+
+TYPED_TEST(UnboundedQueueTest, BurstWraparound) {
+  UnboundedQueue<u64, TypeParam> q(4);
+  testing::run_sequential_wraparound(q, 100, 100);
+}
+
+TYPED_TEST(UnboundedQueueTest, SegmentsAreReclaimed) {
+  UnboundedQueue<u64, TypeParam> q(3);
+  for (int round = 0; round < 200; ++round) {
+    for (u64 i = 0; i < 32; ++i) ASSERT_TRUE(q.enqueue(i));
+    for (u64 i = 0; i < 32; ++i) ASSERT_TRUE(q.dequeue().has_value());
+  }
+  HazardDomain::global().drain();  // quiescent: flush retired segments
+  EXPECT_LT(q.live_segments(), 10u) << "drained segments not unlinked";
+}
+
+TYPED_TEST(UnboundedQueueTest, MpmcExactlyOnce) {
+  UnboundedQueue<u64, TypeParam> q(6);
+  testing::MpmcConfig cfg;
+  cfg.producers = 4;
+  cfg.consumers = 4;
+  cfg.items_per_producer = 20000;
+  testing::run_mpmc_exactly_once(q, cfg);
+}
+
+TYPED_TEST(UnboundedQueueTest, MpmcTinySegmentsHighChurn) {
+  // Segment of 4: constant finalize/append/unlink churn under contention.
+  UnboundedQueue<u64, TypeParam> q(2);
+  testing::MpmcConfig cfg;
+  cfg.producers = 3;
+  cfg.consumers = 3;
+  cfg.items_per_producer = 8000;
+  testing::run_mpmc_exactly_once(q, cfg);
+}
+
+TYPED_TEST(UnboundedQueueTest, MpmcAsymmetric) {
+  UnboundedQueue<u64, TypeParam> q(5);
+  testing::MpmcConfig cfg;
+  cfg.producers = 6;
+  cfg.consumers = 2;
+  cfg.items_per_producer = 10000;
+  testing::run_mpmc_exactly_once(q, cfg);
+}
+
+TYPED_TEST(UnboundedQueueTest, NoBackpressureEver) {
+  // Unlike BoundedQueue, enqueue never reports full.
+  UnboundedQueue<u64, TypeParam> q(2);
+  for (u64 i = 0; i < 5000; ++i) {
+    ASSERT_TRUE(q.enqueue(i));
+  }
+  for (u64 i = 0; i < 5000; ++i) {
+    ASSERT_EQ(q.dequeue().value(), i);
+  }
+}
+
+}  // namespace
+}  // namespace wcq

@@ -1,0 +1,202 @@
+// wCQ (paper Figs 4-7) unit and concurrency tests, including slow-path-only
+// configurations (patience = 1) that force every operation through the
+// helping machinery.
+#include "core/wcq.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/cpu.hpp"
+
+namespace wcq {
+namespace {
+
+WCQ::Options slow_only(unsigned order) {
+  WCQ::Options o;
+  o.order = order;
+  o.enq_patience = 1;
+  o.deq_patience = 1;
+  o.help_delay = 1;  // check for help requests on every operation
+  return o;
+}
+
+TEST(Wcq, StartsEmpty) {
+  WCQ q(4);
+  EXPECT_EQ(q.capacity(), 16u);
+  EXPECT_EQ(q.threshold(), -1);
+  EXPECT_FALSE(q.dequeue().has_value());
+}
+
+TEST(Wcq, SingleElementRoundTrip) {
+  WCQ q(4);
+  q.enqueue(9);
+  auto v = q.dequeue();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 9u);
+  EXPECT_FALSE(q.dequeue().has_value());
+}
+
+TEST(Wcq, FifoOrderWithinCapacity) {
+  WCQ q(6);
+  for (u64 i = 0; i < q.capacity(); ++i) q.enqueue(i);
+  for (u64 i = 0; i < q.capacity(); ++i) {
+    auto v = q.dequeue();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_FALSE(q.dequeue().has_value());
+}
+
+TEST(Wcq, WraparoundManyCycles) {
+  WCQ q(3);
+  for (u64 i = 0; i < 10000; ++i) {
+    q.enqueue(i % q.capacity());
+    auto v = q.dequeue();
+    ASSERT_TRUE(v.has_value());
+    ASSERT_EQ(*v, i % q.capacity());
+  }
+}
+
+TEST(Wcq, EmptyFastPathAfterDrain) {
+  WCQ q(4);
+  q.enqueue(1);
+  ASSERT_TRUE(q.dequeue().has_value());
+  for (u64 i = 0; i < 4 * q.capacity(); ++i) {
+    ASSERT_FALSE(q.dequeue().has_value());
+  }
+  EXPECT_LT(q.threshold(), 0);
+  const u64 head_before = q.head();
+  EXPECT_FALSE(q.dequeue().has_value());
+  EXPECT_EQ(q.head(), head_before);
+}
+
+// --- slow-path-forced sequential behavior ----------------------------------
+// With patience 1 the fast path is attempted exactly once per operation; a
+// single thread then always succeeds in the slow path alone (its own
+// cooperative group of one), exercising slow_F&A, Note and Enq handling.
+
+TEST(WcqSlowPath, SequentialRoundTrips) {
+  WCQ q(slow_only(4));
+  for (u64 i = 0; i < 2000; ++i) {
+    q.enqueue(i % q.capacity());
+    auto v = q.dequeue();
+    ASSERT_TRUE(v.has_value());
+    ASSERT_EQ(*v, i % q.capacity());
+  }
+  EXPECT_FALSE(q.any_pending());
+}
+
+TEST(WcqSlowPath, FifoOrder) {
+  WCQ q(slow_only(5));
+  for (u64 i = 0; i < q.capacity(); ++i) q.enqueue(i);
+  for (u64 i = 0; i < q.capacity(); ++i) {
+    auto v = q.dequeue();
+    ASSERT_TRUE(v.has_value());
+    ASSERT_EQ(*v, i);
+  }
+}
+
+TEST(WcqSlowPath, EmptyDequeueTerminates) {
+  WCQ q(slow_only(4));
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_FALSE(q.dequeue().has_value());
+  }
+  q.enqueue(3);
+  auto v = q.dequeue();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 3u);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_FALSE(q.dequeue().has_value());
+  }
+}
+
+// --- concurrent ------------------------------------------------------------
+
+// Credit counter enforces the ring precondition (at most capacity() live
+// indices, paper §2 k <= n); see test_scq.cpp for details.
+void mpmc_count_test(WCQ& q, unsigned producers, unsigned consumers,
+                     u64 per_producer) {
+  ASSERT_LE(producers, q.capacity());
+  std::atomic<u64> consumed{0};
+  std::atomic<i64> credits{static_cast<i64>(q.capacity())};
+  const u64 total = per_producer * producers;
+  std::vector<std::atomic<u64>> counts(producers);
+  std::vector<std::thread> ts;
+  for (unsigned p = 0; p < producers; ++p) {
+    ts.emplace_back([&, p] {
+      for (u64 i = 0; i < per_producer; ++i) {
+        while (credits.fetch_sub(1, std::memory_order_acquire) <= 0) {
+          credits.fetch_add(1, std::memory_order_release);
+          cpu_relax();
+        }
+        q.enqueue(p);
+      }
+    });
+  }
+  for (unsigned c = 0; c < consumers; ++c) {
+    ts.emplace_back([&] {
+      while (consumed.load(std::memory_order_relaxed) < total) {
+        if (auto v = q.dequeue()) {
+          ASSERT_LT(*v, producers);
+          counts[*v].fetch_add(1, std::memory_order_relaxed);
+          consumed.fetch_add(1, std::memory_order_relaxed);
+          credits.fetch_add(1, std::memory_order_release);
+        } else {
+          cpu_relax();
+        }
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  for (unsigned p = 0; p < producers; ++p) {
+    EXPECT_EQ(counts[p].load(), per_producer) << "producer " << p;
+  }
+  EXPECT_FALSE(q.dequeue().has_value());
+  EXPECT_FALSE(q.any_pending());
+}
+
+TEST(Wcq, MpmcExactCounts) {
+  WCQ q(10);
+  mpmc_count_test(q, 4, 4, 50000);
+}
+
+TEST(Wcq, MpmcSmallRingHighContention) {
+  WCQ q(WCQ::Options{.order = 3});
+  mpmc_count_test(q, 3, 3, 30000);
+}
+
+TEST(Wcq, MpmcManyConsumersOnEmptyish) {
+  WCQ q(6);
+  mpmc_count_test(q, 1, 7, 40000);
+}
+
+TEST(WcqSlowPath, MpmcAllSlowPath) {
+  // Every operation of every thread goes through the helping machinery.
+  WCQ q(slow_only(8));
+  mpmc_count_test(q, 4, 4, 8000);
+}
+
+TEST(WcqSlowPath, MpmcAllSlowPathTinyRing) {
+  WCQ q(slow_only(2));  // capacity 4 under 6 threads: maximal interference
+  mpmc_count_test(q, 3, 3, 5000);
+}
+
+TEST(WcqSlowPath, MixedFastAndSlowThreads) {
+  // Threads alternate between two queues sharing thread records layouts;
+  // here: same queue, but producers use default patience (fast path) while
+  // consumers run patience-1 (slow path), mixing both regimes.
+  WCQ q(WCQ::Options{.order = 6, .enq_patience = 16, .deq_patience = 1,
+                     .help_delay = 1});
+  mpmc_count_test(q, 4, 4, 15000);
+}
+
+TEST(Wcq, StressManyThreadsDefaultConfig) {
+  WCQ q(WCQ::Options{.order = 9});
+  mpmc_count_test(q, 8, 8, 30000);
+}
+
+}  // namespace
+}  // namespace wcq

@@ -1,0 +1,129 @@
+// wCQ portable variant (paper §4, Fig 9): the full correctness suite runs
+// over the LL/SC reservation-granule model, including with injected
+// sporadic SC failures (weak LL/SC semantics).
+#include "core/wcq_llsc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/cpu.hpp"
+
+namespace wcq {
+namespace {
+
+class WcqLlscTest : public ::testing::Test {
+ protected:
+  void TearDown() override { LLSCSim::set_spurious_failure_rate(0.0); }
+};
+
+WCQLLSC::Options slow_only(unsigned order) {
+  WCQLLSC::Options o;
+  o.order = order;
+  o.enq_patience = 1;
+  o.deq_patience = 1;
+  o.help_delay = 1;
+  return o;
+}
+
+TEST_F(WcqLlscTest, SequentialRoundTrips) {
+  WCQLLSC q(4);
+  for (u64 i = 0; i < 5000; ++i) {
+    q.enqueue(i % q.capacity());
+    auto v = q.dequeue();
+    ASSERT_TRUE(v.has_value());
+    ASSERT_EQ(*v, i % q.capacity());
+  }
+  EXPECT_FALSE(q.dequeue().has_value());
+}
+
+TEST_F(WcqLlscTest, FifoOrder) {
+  WCQLLSC q(6);
+  for (u64 i = 0; i < q.capacity(); ++i) q.enqueue(i);
+  for (u64 i = 0; i < q.capacity(); ++i) {
+    auto v = q.dequeue();
+    ASSERT_TRUE(v.has_value());
+    ASSERT_EQ(*v, i);
+  }
+}
+
+TEST_F(WcqLlscTest, SlowPathWithSpuriousFailures) {
+  // Weak LL/SC: every slow-path entry update can fail sporadically. The
+  // paper requires only that wCQ tolerates weak-CAS semantics; exactness of
+  // the delivered values is the check.
+  LLSCSim::set_spurious_failure_rate(0.3);
+  WCQLLSC q(slow_only(4));
+  for (u64 i = 0; i < 2000; ++i) {
+    q.enqueue(i % q.capacity());
+    auto v = q.dequeue();
+    ASSERT_TRUE(v.has_value());
+    ASSERT_EQ(*v, i % q.capacity());
+  }
+}
+
+void mpmc_count_test(WCQLLSC& q, unsigned producers, unsigned consumers,
+                     u64 per_producer) {
+  std::atomic<u64> consumed{0};
+  std::atomic<i64> credits{static_cast<i64>(q.capacity())};
+  const u64 total = per_producer * producers;
+  std::vector<std::atomic<u64>> counts(producers);
+  std::vector<std::thread> ts;
+  for (unsigned p = 0; p < producers; ++p) {
+    ts.emplace_back([&, p] {
+      for (u64 i = 0; i < per_producer; ++i) {
+        while (credits.fetch_sub(1, std::memory_order_acquire) <= 0) {
+          credits.fetch_add(1, std::memory_order_release);
+          cpu_relax();
+        }
+        q.enqueue(p);
+      }
+    });
+  }
+  for (unsigned c = 0; c < consumers; ++c) {
+    ts.emplace_back([&] {
+      while (consumed.load(std::memory_order_relaxed) < total) {
+        if (auto v = q.dequeue()) {
+          ASSERT_LT(*v, producers);
+          counts[*v].fetch_add(1, std::memory_order_relaxed);
+          consumed.fetch_add(1, std::memory_order_relaxed);
+          credits.fetch_add(1, std::memory_order_release);
+        } else {
+          cpu_relax();
+        }
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  for (unsigned p = 0; p < producers; ++p) {
+    EXPECT_EQ(counts[p].load(), per_producer) << "producer " << p;
+  }
+  EXPECT_FALSE(q.dequeue().has_value());
+}
+
+TEST_F(WcqLlscTest, MpmcExactCounts) {
+  WCQLLSC q(9);
+  mpmc_count_test(q, 4, 4, 20000);
+}
+
+TEST_F(WcqLlscTest, MpmcAllSlowPathTinyRing) {
+  WCQLLSC q(slow_only(2));
+  mpmc_count_test(q, 3, 3, 4000);
+}
+
+TEST_F(WcqLlscTest, MpmcWithInjectedScFailures) {
+  LLSCSim::set_spurious_failure_rate(0.2);
+  WCQLLSC q(slow_only(3));
+  mpmc_count_test(q, 3, 3, 4000);
+  EXPECT_GT(LLSCSim::injected_failures(), 0u);
+}
+
+TEST_F(WcqLlscTest, MpmcHeavyFailureRate) {
+  LLSCSim::set_spurious_failure_rate(0.5);
+  WCQLLSC q(slow_only(4));
+  mpmc_count_test(q, 2, 2, 3000);
+}
+
+}  // namespace
+}  // namespace wcq

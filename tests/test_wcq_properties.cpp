@@ -1,0 +1,115 @@
+// Property sweeps for wCQ: the exactly-once/per-producer-FIFO property must
+// hold across the whole configuration space — ring sizes from minimal to
+// large, fast-path-only through slow-path-only, symmetric and asymmetric
+// thread mixes. TEST_P keeps each point an isolated, named test.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/bounded_queue.hpp"
+#include "mpmc_harness.hpp"
+
+namespace wcq {
+namespace {
+
+struct SweepCase {
+  unsigned order;
+  unsigned producers;
+  unsigned consumers;
+  int enq_patience;
+  int deq_patience;
+  unsigned help_delay;
+  u64 items;
+};
+
+std::ostream& operator<<(std::ostream& os, const SweepCase& c) {
+  return os << "order" << c.order << "_p" << c.producers << "c" << c.consumers
+            << "_ep" << c.enq_patience << "dp" << c.deq_patience << "hd"
+            << c.help_delay;
+}
+
+// A BoundedQueue built over a WCQ with explicit options (the default
+// BoundedQueue ctor cannot pass Options through).
+class TunedQueue {
+ public:
+  explicit TunedQueue(const SweepCase& c)
+      : aq_(ring_opts(c)), fq_(ring_opts(c)), data_(u64{1} << c.order) {
+    for (u64 i = 0; i < data_.size(); ++i) fq_.enqueue(i);
+  }
+
+  bool enqueue(u64 v) {
+    const auto idx = fq_.dequeue();
+    if (!idx) return false;
+    data_[*idx] = v;
+    aq_.enqueue(*idx);
+    return true;
+  }
+
+  std::optional<u64> dequeue() {
+    const auto idx = aq_.dequeue();
+    if (!idx) return std::nullopt;
+    const u64 v = data_[*idx];
+    fq_.enqueue(*idx);
+    return v;
+  }
+
+ private:
+  static WCQ::Options ring_opts(const SweepCase& c) {
+    WCQ::Options o;
+    o.order = c.order;
+    o.enq_patience = c.enq_patience;
+    o.deq_patience = c.deq_patience;
+    o.help_delay = c.help_delay;
+    return o;
+  }
+  WCQ aq_;
+  WCQ fq_;
+  std::vector<u64> data_;
+};
+
+class WcqSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(WcqSweep, ExactlyOnceAndPerProducerFifo) {
+  const SweepCase& c = GetParam();
+  TunedQueue q(c);
+  testing::MpmcConfig cfg;
+  cfg.producers = c.producers;
+  cfg.consumers = c.consumers;
+  cfg.items_per_producer = c.items;
+  testing::run_mpmc_exactly_once(q, cfg);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PatienceSpectrum, WcqSweep,
+    ::testing::Values(
+        // paper defaults: slow path rare
+        SweepCase{8, 4, 4, 16, 64, 16, 20000},
+        // no patience at all: every op through the helping machinery
+        SweepCase{8, 4, 4, 1, 1, 1, 4000},
+        // asymmetric patience: only dequeues go slow
+        SweepCase{8, 4, 4, 16, 1, 1, 8000},
+        // only enqueues go slow
+        SweepCase{8, 4, 4, 1, 64, 1, 8000},
+        // large help delay: helping is rare but must still be correct
+        SweepCase{8, 4, 4, 2, 2, 64, 8000}));
+
+INSTANTIATE_TEST_SUITE_P(
+    RingSizes, WcqSweep,
+    ::testing::Values(
+        SweepCase{1, 2, 2, 2, 2, 1, 3000},   // capacity 2: minimal ring
+        SweepCase{2, 3, 3, 2, 2, 1, 4000},   // capacity 4
+        SweepCase{4, 4, 4, 4, 4, 4, 8000},   // capacity 16
+        SweepCase{12, 4, 4, 16, 64, 16, 20000}));  // capacity 4096
+
+INSTANTIATE_TEST_SUITE_P(
+    ThreadMixes, WcqSweep,
+    ::testing::Values(
+        SweepCase{6, 1, 1, 4, 4, 2, 20000},  // SPSC
+        SweepCase{6, 7, 1, 4, 4, 2, 6000},   // many-to-one
+        SweepCase{6, 1, 7, 4, 4, 2, 20000},  // one-to-many
+        SweepCase{6, 6, 6, 4, 4, 2, 6000},   // square, oversubscribed-ish
+        SweepCase{6, 2, 6, 1, 1, 1, 4000},   // slow-path, consumer-heavy
+        SweepCase{6, 6, 2, 1, 1, 1, 4000})); // slow-path, producer-heavy
+
+}  // namespace
+}  // namespace wcq
