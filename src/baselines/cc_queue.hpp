@@ -21,6 +21,7 @@
 
 #include "common/align.hpp"
 #include "common/alloc_meter.hpp"
+#include "common/backoff.hpp"
 #include "common/cpu.hpp"
 #include "runtime/thread_registry.hpp"
 
@@ -98,7 +99,10 @@ class CCQueue {
     mine = cur;  // recycled once this operation completes
     cur->next.store(next_rec, std::memory_order_release);
 
-    while (cur->wait.load(std::memory_order_acquire)) cpu_relax();
+    // Blocking by construction: a preempted combiner stalls this wait (the
+    // property the paper contrasts with wCQ), so it must yield eventually.
+    Backoff bo;
+    while (cur->wait.load(std::memory_order_acquire)) bo.pause();
     if (cur->completed) return cur;  // a combiner executed us
 
     // We are the combiner: run a bounded batch starting at our own record.

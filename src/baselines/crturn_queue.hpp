@@ -27,6 +27,7 @@
 
 #include "common/align.hpp"
 #include "common/alloc_meter.hpp"
+#include "common/backoff.hpp"
 #include "reclaim/hazard_pointers.hpp"
 #include "runtime/thread_registry.hpp"
 
@@ -69,9 +70,21 @@ class CRTurnQueue {
       help_append_one(hp);
     }
     // The turn argument bounds the loop above; the guard below only spins if
-    // that bound was computed against a stale thread high-water mark.
+    // that bound was computed against a stale thread high-water mark. Each
+    // help round that swings Tail is progress this thread drives itself, so
+    // back off only when a round leaves Tail unchanged (the blocked-on-a-
+    // descheduled-peer case).
+    Backoff bo;
+    Node* last_tail = tail_.value.load(std::memory_order_seq_cst);
     while (enqueuers_[tid].value.load(std::memory_order_seq_cst) != nullptr) {
       help_append_one(hp);
+      Node* t = tail_.value.load(std::memory_order_seq_cst);
+      if (t == last_tail) {
+        bo.pause();
+      } else {
+        last_tail = t;
+        bo.reset();
+      }
     }
     hp.clear_all();
     return true;

@@ -17,6 +17,7 @@
 #include <optional>
 
 #include "common/align.hpp"
+#include "common/backoff.hpp"
 #include "core/entry.hpp"
 #include "core/remap.hpp"
 
@@ -46,10 +47,13 @@ class SCQ {
 
   // Inserts `index` (< capacity()). Never fails; the caller guarantees at
   // most capacity() live indices (Fig 2's fq/aq usage provides that).
+  // try_enq only fails while a dequeuer that ⊥-marked the target slot has
+  // not yet caught up, so on oversubscribed hosts the retry loop must back
+  // off to let that (descheduled) dequeuer run.
   void enqueue(u64 index) {
     u64 tail_unused;
-    while (!try_enq(index, tail_unused)) {
-    }
+    Backoff bo;
+    while (!try_enq(index, tail_unused)) bo.pause();
   }
 
   // Removes and returns the oldest index, or nullopt when empty.

@@ -27,6 +27,7 @@
 
 #include "common/align.hpp"
 #include "common/alloc_meter.hpp"
+#include "common/backoff.hpp"
 #include "core/bounded_queue.hpp"
 #include "reclaim/hazard_pointers.hpp"
 
@@ -89,6 +90,7 @@ class UnboundedQueue {
 
   std::optional<T> dequeue() {
     HazardDomain& hp = HazardDomain::global();
+    Backoff bo;
     for (;;) {
       Segment* lhead = hp.protect(0, head_.value);
       if (auto v = lhead->dequeue()) {
@@ -104,6 +106,9 @@ class UnboundedQueue {
       // once no enqueuer can still complete on it and it is drained.
       if (!lhead->quiescent()) {
         // An in-flight enqueue may still land here; try dequeuing again.
+        // The enqueuer holding in_flight may be descheduled, so this wait
+        // must back off or it livelocks an oversubscribed host.
+        bo.pause();
         continue;
       }
       if (auto v = lhead->dequeue()) {  // drained-check must re-validate

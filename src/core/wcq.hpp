@@ -47,6 +47,7 @@
 #include <optional>
 
 #include "common/align.hpp"
+#include "common/backoff.hpp"
 #include "common/dwcas.hpp"
 #include "core/entry.hpp"
 #include "core/remap.hpp"
@@ -638,6 +639,7 @@ class BasicWCQ {
                 u64 init) {
     const unsigned my = ThreadRegistry::tid();
     Phase2Rec& p2 = records_[my].phase2;
+    Backoff bo;
     for (;;) {
       u64 cnt = 0;
       const bool have_cnt = load_global_help_phase2(global, local, cnt);
@@ -665,8 +667,15 @@ class BasicWCQ {
           // anchor: the fast path already exhausted that rank, and handing
           // it out as a reservation would let a production/FIN race the
           // bootstrap phase-1 CAS (deviation 5, DESIGN.md §3). Loop instead;
-          // the next phase-1 CAS anchored at it will advance the group.
-          if (v == init) continue;
+          // the next phase-1 CAS anchored at it will advance the group. This
+          // is the slow path's one wait on a *peer's* step (a cooperating
+          // thread's phase-1 CAS), so it backs off rather than spinning dry
+          // on oversubscribed hosts; the helping protocol itself provides
+          // the wait-freedom bound (DESIGN.md §5).
+          if (v == init) {
+            bo.pause();
+            continue;
+          }
           dbg(kEvReturnTrue, v, rec_index(req_rec));
           return true;  // already reserved; v is the slot
         }

@@ -18,11 +18,15 @@ thread_local Reservation t_reservation;
 
 std::atomic<std::uint64_t> g_failure_rate_permille{0};
 std::atomic<std::uint64_t> g_injected{0};
+std::atomic<std::uint64_t> g_attempts{0};
 
 bool inject_failure() {
   const std::uint64_t permille =
       g_failure_rate_permille.load(std::memory_order_relaxed);
   if (permille == 0) return false;
+  // Attempts are only tallied while injection is armed: benchmarks run with
+  // it off and must not pay for a contended counter line in the SC path.
+  g_attempts.fetch_add(1, std::memory_order_relaxed);
   thread_local Xoshiro256 rng{0xC0FFEEULL + ThreadRegistry::tid()};
   if (rng.bounded(1000) < permille) {
     g_injected.fetch_add(1, std::memory_order_relaxed);
@@ -78,6 +82,10 @@ double LLSCSim::spurious_failure_rate() {
 
 std::uint64_t LLSCSim::injected_failures() {
   return g_injected.load(std::memory_order_relaxed);
+}
+
+std::uint64_t LLSCSim::sc_attempts() {
+  return g_attempts.load(std::memory_order_relaxed);
 }
 
 }  // namespace wcq

@@ -45,6 +45,14 @@ class LLSCSim {
   // Test hook: number of SCs that failed due to injection.
   static std::uint64_t injected_failures();
 
+  // Test hook: number of SCs that held a valid reservation while injection
+  // was armed (the population eligible for injection; not counted when the
+  // rate is 0, to keep the counter off the benchmarked SC path). Tests
+  // asserting "the injector fired" gate on this — on a 1-core host the wCQ
+  // slow path may see so little genuine contention that almost no LL/SC
+  // updates run at all.
+  static std::uint64_t sc_attempts();
+
  private:
   static bool store_conditional(AtomicPair128& granule, Pair128 desired);
 };

@@ -23,6 +23,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/align.hpp"  // u64/i64 aliases used below
+#include "common/backoff.hpp"
 #include "common/cpu.hpp"
 
 namespace wcq::testing {
@@ -36,6 +38,23 @@ struct MpmcConfig {
   bool pin = false;
 };
 
+// Scale a per-producer iteration count to the host. The counts written in
+// the test files are tuned for an ~8-core machine; a 1-core CI runner gets
+// 1/8 of them (still thousands of handoffs through every code path, but
+// inside CTest timeouts), a 64-core box gets 8x (a real stress). Exactness
+// assertions are unaffected: callers thread the scaled count through both
+// the workload and the checks.
+inline u64 scale_items(u64 base_per_producer) {
+  static const unsigned hw = [] {
+    unsigned h = std::thread::hardware_concurrency();
+    if (h == 0) h = 1;
+    return h < 64u ? h : 64u;
+  }();
+  constexpr unsigned kRefCores = 8;
+  const u64 scaled = base_per_producer * hw / kRefCores;
+  return scaled > 0 ? scaled : 1;
+}
+
 inline u64 tag(unsigned producer, u64 seq) {
   return (static_cast<u64>(producer) << 32) | seq;
 }
@@ -44,7 +63,8 @@ inline u64 tag(unsigned producer, u64 seq) {
 // std::optional<u64> dequeue() (nullopt = empty).
 template <typename Queue>
 void run_mpmc_exactly_once(Queue& q, const MpmcConfig& cfg) {
-  const u64 total = cfg.items_per_producer * cfg.producers;
+  const u64 items_per_producer = scale_items(cfg.items_per_producer);
+  const u64 total = items_per_producer * cfg.producers;
   std::atomic<u64> consumed{0};
   std::atomic<bool> start{false};
 
@@ -57,9 +77,11 @@ void run_mpmc_exactly_once(Queue& q, const MpmcConfig& cfg) {
   for (unsigned p = 0; p < cfg.producers; ++p) {
     threads.emplace_back([&, p] {
       if (cfg.pin) pin_thread(p);
-      while (!start.load(std::memory_order_acquire)) cpu_relax();
-      for (u64 i = 0; i < cfg.items_per_producer; ++i) {
-        while (!q.enqueue(tag(p, i))) cpu_relax();
+      Backoff bo;
+      while (!start.load(std::memory_order_acquire)) bo.pause();
+      for (u64 i = 0; i < items_per_producer; ++i) {
+        bo.reset();
+        while (!q.enqueue(tag(p, i))) bo.pause();  // full: wait for consumers
       }
     });
   }
@@ -68,13 +90,16 @@ void run_mpmc_exactly_once(Queue& q, const MpmcConfig& cfg) {
       if (cfg.pin) pin_thread(cfg.producers + c);
       auto& log = logs[c];
       log.reserve(total / cfg.consumers + 16);
-      while (!start.load(std::memory_order_acquire)) cpu_relax();
+      Backoff bo;
+      while (!start.load(std::memory_order_acquire)) bo.pause();
+      bo.reset();
       while (consumed.load(std::memory_order_relaxed) < total) {
         if (auto v = q.dequeue()) {
           log.push_back(*v);
           consumed.fetch_add(1, std::memory_order_relaxed);
+          bo.reset();
         } else {
-          cpu_relax();
+          bo.pause();  // empty: wait for producers
         }
       }
     });
@@ -95,7 +120,7 @@ void run_mpmc_exactly_once(Queue& q, const MpmcConfig& cfg) {
       const unsigned p = static_cast<unsigned>(v >> 32);
       const u64 seq = v & 0xFFFFFFFFu;
       ASSERT_LT(p, cfg.producers) << "invented producer id";
-      ASSERT_LT(seq, cfg.items_per_producer) << "invented sequence";
+      ASSERT_LT(seq, items_per_producer) << "invented sequence";
       if (has_last[p]) {
         ASSERT_GT(seq, last[p])
             << "per-producer FIFO violated within one consumer";
@@ -106,14 +131,65 @@ void run_mpmc_exactly_once(Queue& q, const MpmcConfig& cfg) {
     }
   }
   for (unsigned p = 0; p < cfg.producers; ++p) {
-    ASSERT_EQ(seen[p].size(), cfg.items_per_producer)
+    ASSERT_EQ(seen[p].size(), items_per_producer)
         << "producer " << p << " item count mismatch";
-    std::vector<bool> mark(cfg.items_per_producer, false);
+    std::vector<bool> mark(items_per_producer, false);
     for (u64 s : seen[p]) {
       ASSERT_FALSE(mark[s]) << "duplicate delivery of item " << s;
       mark[s] = true;
     }
   }
+}
+
+// Count-based MPMC check on a raw index ring: each producer repeatedly
+// enqueues its own id; totals per id must match exactly. A credit counter
+// enforces the ring precondition (at most capacity() live indices): raw
+// SCQ/wCQ Enqueue is only defined under that bound (paper §2, k <= n).
+// `per_producer` is host-scaled like run_mpmc_exactly_once.
+template <typename Ring>
+void run_mpmc_count_exact(Ring& q, unsigned producers, unsigned consumers,
+                          u64 per_producer) {
+  ASSERT_LE(producers, q.capacity());
+  per_producer = scale_items(per_producer);
+  std::atomic<u64> consumed{0};
+  std::atomic<i64> credits{static_cast<i64>(q.capacity())};
+  const u64 total = per_producer * producers;
+  std::vector<std::atomic<u64>> counts(producers);
+  std::vector<std::thread> ts;
+  for (unsigned p = 0; p < producers; ++p) {
+    ts.emplace_back([&, p] {
+      Backoff bo;
+      for (u64 i = 0; i < per_producer; ++i) {
+        while (credits.fetch_sub(1, std::memory_order_acquire) <= 0) {
+          credits.fetch_add(1, std::memory_order_release);
+          bo.pause();  // no credit: wait for a consumer to free one
+        }
+        bo.reset();
+        q.enqueue(p);
+      }
+    });
+  }
+  for (unsigned c = 0; c < consumers; ++c) {
+    ts.emplace_back([&] {
+      Backoff bo;
+      while (consumed.load(std::memory_order_relaxed) < total) {
+        if (auto v = q.dequeue()) {
+          ASSERT_LT(*v, producers);
+          counts[*v].fetch_add(1, std::memory_order_relaxed);
+          consumed.fetch_add(1, std::memory_order_relaxed);
+          credits.fetch_add(1, std::memory_order_release);
+          bo.reset();
+        } else {
+          bo.pause();  // empty: wait for a producer
+        }
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  for (unsigned p = 0; p < producers; ++p) {
+    EXPECT_EQ(counts[p].load(), per_producer) << "producer " << p;
+  }
+  EXPECT_FALSE(q.dequeue().has_value());
 }
 
 // Single-threaded strict-FIFO check, applicable to every queue type.

@@ -1,0 +1,87 @@
+// Backoff helper: the escalation ladder (spin rounds, then yield) and reset
+// semantics that the livelock fixes in the test harness and queues rely on.
+#include "common/backoff.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+namespace wcq {
+namespace {
+
+TEST(Backoff, StartsInSpinPhase) {
+  Backoff bo;
+  EXPECT_EQ(bo.round(), 0u);
+  EXPECT_EQ(bo.yields(), 0u);
+  EXPECT_FALSE(bo.yielding());
+}
+
+TEST(Backoff, EscalatesToYieldAfterSpinRounds) {
+  Backoff bo;
+  for (std::uint32_t i = 0; i < Backoff::kSpinRounds; ++i) {
+    EXPECT_FALSE(bo.yielding()) << "escalated early at round " << i;
+    bo.pause();
+  }
+  EXPECT_TRUE(bo.yielding());
+  EXPECT_EQ(bo.yields(), 0u) << "spin rounds must not yield";
+  bo.pause();
+  EXPECT_EQ(bo.yields(), 1u);
+  bo.pause();
+  EXPECT_EQ(bo.yields(), 2u);
+}
+
+TEST(Backoff, ResetRestartsTheLadder) {
+  Backoff bo;
+  for (std::uint32_t i = 0; i < Backoff::kSpinRounds + 3; ++i) bo.pause();
+  EXPECT_TRUE(bo.yielding());
+  bo.reset();
+  EXPECT_FALSE(bo.yielding());
+  EXPECT_EQ(bo.round(), 0u);
+  bo.pause();
+  EXPECT_EQ(bo.yields(), 3u) << "reset must not erase the yield count";
+  EXPECT_EQ(bo.round(), 1u);
+}
+
+TEST(Backoff, CustomSpinRounds) {
+  Backoff bo(2);
+  EXPECT_EQ(bo.spin_rounds(), 2u);
+  bo.pause();
+  bo.pause();
+  EXPECT_TRUE(bo.yielding());
+  Backoff eager(0);  // yield immediately: pure-yield waiter
+  EXPECT_TRUE(eager.yielding());
+  eager.pause();
+  EXPECT_EQ(eager.yields(), 1u);
+}
+
+TEST(Backoff, HandoffCompletesOnOversubscribedHost) {
+  // The livelock regression in miniature: two threads ping-pong a flag more
+  // times than any plausible scheduling-quantum budget would allow if the
+  // waiters never yielded. Completing at all (under the CTest timeout) is
+  // the assertion; on a 1-core host this hangs without the yield escalation.
+  std::atomic<int> turn{0};
+  constexpr int kRounds = 2000;
+  std::thread a([&] {
+    Backoff bo;
+    for (int i = 0; i < kRounds; ++i) {
+      while (turn.load(std::memory_order_acquire) != 0) bo.pause();
+      bo.reset();
+      turn.store(1, std::memory_order_release);
+    }
+  });
+  std::thread b([&] {
+    Backoff bo;
+    for (int i = 0; i < kRounds; ++i) {
+      while (turn.load(std::memory_order_acquire) != 1) bo.pause();
+      bo.reset();
+      turn.store(0, std::memory_order_release);
+    }
+  });
+  a.join();
+  b.join();
+  EXPECT_EQ(turn.load(), 0);
+}
+
+}  // namespace
+}  // namespace wcq

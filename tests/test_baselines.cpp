@@ -83,17 +83,23 @@ TYPED_TEST(BaselineQueueTest, MpmcAsymmetric) {
 
 TYPED_TEST(BaselineQueueTest, SpscOrder) {
   TypeParam q;
-  constexpr u64 kItems = 100000;
+  const u64 kItems = testing::scale_items(100000);
   std::thread prod([&] {
+    Backoff bo;
     for (u64 i = 0; i < kItems; ++i) {
-      while (!q.enqueue(i)) cpu_relax();
+      bo.reset();
+      while (!q.enqueue(i)) bo.pause();
     }
   });
   u64 expect = 0;
+  Backoff bo;
   while (expect < kItems) {
     if (auto v = q.dequeue()) {
       ASSERT_EQ(*v, expect);
       ++expect;
+      bo.reset();
+    } else {
+      bo.pause();  // empty: wait for the producer
     }
   }
   prod.join();

@@ -8,8 +8,10 @@
 #include <thread>
 #include <vector>
 
+#include "common/backoff.hpp"
 #include "common/cpu.hpp"
 #include "core/wcq_llsc.hpp"
+#include "mpmc_harness.hpp"
 
 namespace wcq {
 namespace {
@@ -23,6 +25,7 @@ TEST_P(LlscFailureSweep, ExactCountsUnderInjectedFailures) {
   const double rate = GetParam();
   LLSCSim::set_spurious_failure_rate(rate);
   const u64 before = LLSCSim::injected_failures();
+  const u64 attempts_before = LLSCSim::sc_attempts();
 
   WCQLLSC::Options o;
   o.order = 4;
@@ -31,46 +34,18 @@ TEST_P(LlscFailureSweep, ExactCountsUnderInjectedFailures) {
   o.help_delay = 1;
   WCQLLSC q(o);
 
-  constexpr unsigned kProducers = 3;
-  constexpr unsigned kConsumers = 3;
-  constexpr u64 kPer = 3000;
-  std::atomic<u64> consumed{0};
-  std::atomic<i64> credits{static_cast<i64>(q.capacity())};
-  std::vector<std::atomic<u64>> counts(kProducers);
-  std::vector<std::thread> ts;
-  for (unsigned p = 0; p < kProducers; ++p) {
-    ts.emplace_back([&, p] {
-      for (u64 i = 0; i < kPer; ++i) {
-        while (credits.fetch_sub(1, std::memory_order_acquire) <= 0) {
-          credits.fetch_add(1, std::memory_order_release);
-          cpu_relax();
-        }
-        q.enqueue(p);
-      }
-    });
-  }
-  for (unsigned c = 0; c < kConsumers; ++c) {
-    ts.emplace_back([&] {
-      while (consumed.load(std::memory_order_relaxed) < kPer * kProducers) {
-        if (auto v = q.dequeue()) {
-          counts[*v].fetch_add(1, std::memory_order_relaxed);
-          consumed.fetch_add(1, std::memory_order_relaxed);
-          credits.fetch_add(1, std::memory_order_release);
-        } else {
-          cpu_relax();
-        }
-      }
-    });
-  }
-  for (auto& t : ts) t.join();
-
-  for (unsigned p = 0; p < kProducers; ++p) {
-    EXPECT_EQ(counts[p].load(), kPer);
-  }
-  EXPECT_FALSE(q.dequeue().has_value());
-  if (rate > 0.0) {
+  testing::run_mpmc_count_exact(q, 3, 3, 3000);
+  // Injection only happens on LL/SC updates, which the slow path issues on
+  // genuine contention; a 1-core host may legitimately produce almost none
+  // (the single fast-path attempt usually succeeds because nothing truly
+  // runs in parallel). Only with a statistically sufficient SC population
+  // is a silent injector a wiring bug. (The deterministic injector check
+  // lives in test_llsc.cpp: InjectedFailuresOccurAtConfiguredRate.)
+  const u64 attempts = LLSCSim::sc_attempts() - attempts_before;
+  if (rate >= 0.05 && attempts >= 1000) {
     EXPECT_GT(LLSCSim::injected_failures(), before)
-        << "injector configured but never fired";
+        << "injector configured but never fired across " << attempts
+        << " eligible SCs";
   }
 }
 

@@ -6,10 +6,12 @@
 #include <thread>
 #include <vector>
 
+#include "common/backoff.hpp"
 #include "common/cpu.hpp"
 #include "core/scq.hpp"
 #include "core/wcq.hpp"
 #include "core/wcq_llsc.hpp"
+#include "mpmc_harness.hpp"
 
 namespace wcq {
 namespace {
@@ -86,42 +88,7 @@ TYPED_TEST(RingTypedTest, InterleavedPartialDrains) {
 
 TYPED_TEST(RingTypedTest, MpmcCountsExact) {
   TypeParam q(7);
-  constexpr unsigned kProducers = 4;
-  constexpr unsigned kConsumers = 4;
-  constexpr u64 kPer = 15000;
-  std::atomic<u64> consumed{0};
-  std::atomic<i64> credits{static_cast<i64>(q.capacity())};
-  std::vector<std::atomic<u64>> counts(kProducers);
-  std::vector<std::thread> ts;
-  for (unsigned p = 0; p < kProducers; ++p) {
-    ts.emplace_back([&, p] {
-      for (u64 i = 0; i < kPer; ++i) {
-        while (credits.fetch_sub(1, std::memory_order_acquire) <= 0) {
-          credits.fetch_add(1, std::memory_order_release);
-          cpu_relax();
-        }
-        q.enqueue(p);
-      }
-    });
-  }
-  for (unsigned c = 0; c < kConsumers; ++c) {
-    ts.emplace_back([&] {
-      while (consumed.load(std::memory_order_relaxed) < kPer * kProducers) {
-        if (auto v = q.dequeue()) {
-          counts[*v].fetch_add(1, std::memory_order_relaxed);
-          consumed.fetch_add(1, std::memory_order_relaxed);
-          credits.fetch_add(1, std::memory_order_release);
-        } else {
-          cpu_relax();
-        }
-      }
-    });
-  }
-  for (auto& t : ts) t.join();
-  for (unsigned p = 0; p < kProducers; ++p) {
-    EXPECT_EQ(counts[p].load(), kPer);
-  }
-  EXPECT_FALSE(q.dequeue().has_value());
+  testing::run_mpmc_count_exact(q, 4, 4, 15000);
 }
 
 TYPED_TEST(RingTypedTest, EmptyDequeueStorm) {

@@ -7,7 +7,9 @@
 #include <thread>
 #include <vector>
 
+#include "common/backoff.hpp"
 #include "common/cpu.hpp"
+#include "mpmc_harness.hpp"
 
 namespace wcq {
 namespace {
@@ -108,86 +110,50 @@ TEST(Scq, RemapOffStillCorrect) {
   }
 }
 
-// Count-based MPMC check on the raw index ring: each producer repeatedly
-// enqueues its own id; totals per id must match exactly. A credit counter
-// enforces the ring precondition (at most capacity() live indices): raw
-// SCQ/wCQ Enqueue is only defined under that bound (paper §2, k <= n).
-void mpmc_count_test(SCQ& q, unsigned producers, unsigned consumers,
-                     u64 per_producer) {
-  ASSERT_LE(producers, q.capacity());
-  std::atomic<u64> consumed{0};
-  std::atomic<i64> credits{static_cast<i64>(q.capacity())};
-  const u64 total = per_producer * producers;
-  std::vector<std::atomic<u64>> counts(producers);
-  std::vector<std::thread> ts;
-  for (unsigned p = 0; p < producers; ++p) {
-    ts.emplace_back([&, p] {
-      for (u64 i = 0; i < per_producer; ++i) {
-        while (credits.fetch_sub(1, std::memory_order_acquire) <= 0) {
-          credits.fetch_add(1, std::memory_order_release);
-          cpu_relax();
-        }
-        q.enqueue(p);
-      }
-    });
-  }
-  for (unsigned c = 0; c < consumers; ++c) {
-    ts.emplace_back([&] {
-      while (consumed.load(std::memory_order_relaxed) < total) {
-        if (auto v = q.dequeue()) {
-          ASSERT_LT(*v, producers);
-          counts[*v].fetch_add(1, std::memory_order_relaxed);
-          consumed.fetch_add(1, std::memory_order_relaxed);
-          credits.fetch_add(1, std::memory_order_release);
-        } else {
-          cpu_relax();
-        }
-      }
-    });
-  }
-  for (auto& t : ts) t.join();
-  for (unsigned p = 0; p < producers; ++p) {
-    EXPECT_EQ(counts[p].load(), per_producer) << "producer " << p;
-  }
-  EXPECT_FALSE(q.dequeue().has_value());
-}
+// Count-based MPMC checks live in mpmc_harness.hpp (run_mpmc_count_exact).
 
 TEST(Scq, MpmcExactCounts) {
   SCQ q(10);
-  mpmc_count_test(q, 4, 4, 50000);
+  testing::run_mpmc_count_exact(q, 4, 4, 50000);
 }
 
 TEST(Scq, MpmcSmallRingHighContention) {
   SCQ q(3);  // capacity 8 with 6 threads: constant wraparound pressure
-  mpmc_count_test(q, 3, 3, 30000);
+  testing::run_mpmc_count_exact(q, 3, 3, 30000);
 }
 
 TEST(Scq, MpmcManyConsumersOnEmptyish) {
   SCQ q(6);
-  mpmc_count_test(q, 1, 7, 40000);
+  testing::run_mpmc_count_exact(q, 1, 7, 40000);
 }
 
 TEST(Scq, SpscPipeline) {
   SCQ q(4);
-  constexpr u64 kItems = 200000;
+  const u64 kItems = testing::scale_items(200000);
   std::atomic<i64> credits{static_cast<i64>(q.capacity())};
   std::thread prod([&] {
+    Backoff bo;
     for (u64 i = 0; i < kItems; ++i) {
       while (credits.fetch_sub(1, std::memory_order_acquire) <= 0) {
         credits.fetch_add(1, std::memory_order_release);
-        cpu_relax();
+        bo.pause();
       }
+      bo.reset();
       q.enqueue(i % q.capacity());
     }
   });
   u64 received = 0;
   u64 expect = 0;
+  Backoff bo;
   while (received < kItems) {
     if (auto v = q.dequeue()) {
       ASSERT_EQ(*v, expect % q.capacity());  // SPSC preserves exact order
       ++expect;
       ++received;
       credits.fetch_add(1, std::memory_order_release);
+      bo.reset();
+    } else {
+      bo.pause();
     }
   }
   prod.join();

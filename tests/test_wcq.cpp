@@ -9,7 +9,9 @@
 #include <thread>
 #include <vector>
 
+#include "common/backoff.hpp"
 #include "common/cpu.hpp"
+#include "mpmc_harness.hpp"
 
 namespace wcq {
 namespace {
@@ -115,46 +117,11 @@ TEST(WcqSlowPath, EmptyDequeueTerminates) {
 
 // --- concurrent ------------------------------------------------------------
 
-// Credit counter enforces the ring precondition (at most capacity() live
-// indices, paper §2 k <= n); see test_scq.cpp for details.
+// The count-based MPMC loop lives in mpmc_harness.hpp; wCQ additionally
+// checks that no help request is left pending once the queue quiesces.
 void mpmc_count_test(WCQ& q, unsigned producers, unsigned consumers,
                      u64 per_producer) {
-  ASSERT_LE(producers, q.capacity());
-  std::atomic<u64> consumed{0};
-  std::atomic<i64> credits{static_cast<i64>(q.capacity())};
-  const u64 total = per_producer * producers;
-  std::vector<std::atomic<u64>> counts(producers);
-  std::vector<std::thread> ts;
-  for (unsigned p = 0; p < producers; ++p) {
-    ts.emplace_back([&, p] {
-      for (u64 i = 0; i < per_producer; ++i) {
-        while (credits.fetch_sub(1, std::memory_order_acquire) <= 0) {
-          credits.fetch_add(1, std::memory_order_release);
-          cpu_relax();
-        }
-        q.enqueue(p);
-      }
-    });
-  }
-  for (unsigned c = 0; c < consumers; ++c) {
-    ts.emplace_back([&] {
-      while (consumed.load(std::memory_order_relaxed) < total) {
-        if (auto v = q.dequeue()) {
-          ASSERT_LT(*v, producers);
-          counts[*v].fetch_add(1, std::memory_order_relaxed);
-          consumed.fetch_add(1, std::memory_order_relaxed);
-          credits.fetch_add(1, std::memory_order_release);
-        } else {
-          cpu_relax();
-        }
-      }
-    });
-  }
-  for (auto& t : ts) t.join();
-  for (unsigned p = 0; p < producers; ++p) {
-    EXPECT_EQ(counts[p].load(), per_producer) << "producer " << p;
-  }
-  EXPECT_FALSE(q.dequeue().has_value());
+  testing::run_mpmc_count_exact(q, producers, consumers, per_producer);
   EXPECT_FALSE(q.any_pending());
 }
 
