@@ -35,5 +35,10 @@ int main(int argc, char** argv) {
   std::printf("\n## Figure 10b: throughput during the memory test\n");
   print_throughput_table(series, p.thread_counts);
   print_cv_note(series);
+  if (!p.json_path.empty()) {
+    JsonReport report;
+    report.add_panel("Figure 10 memory test", p, series);
+    report.write(p.json_path);
+  }
   return 0;
 }

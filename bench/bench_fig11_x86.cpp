@@ -19,7 +19,7 @@ namespace wcq::bench {
 namespace {
 
 void run_panel(BenchParams p, Workload w, const char* figure,
-               const char* caption) {
+               const char* caption, JsonReport& report) {
   p.workload = w;
   print_preamble(figure, caption, p);
   std::vector<Series> series;
@@ -33,6 +33,7 @@ void run_panel(BenchParams p, Workload w, const char* figure,
   run_series<MsAdapter>(p, series);
   print_throughput_table(series, p.thread_counts);
   print_cv_note(series);
+  report.add_panel(caption, p, series);
   std::printf("\n");
 }
 
@@ -42,19 +43,21 @@ void run_panel(BenchParams p, Workload w, const char* figure,
 int main(int argc, char** argv) {
   using namespace wcq::bench;
   BenchParams p = BenchParams::parse(argc, argv);
+  JsonReport report;
   bool explicit_workload = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--workload", 10) == 0) explicit_workload = true;
   }
   if (explicit_workload) {
-    run_panel(p, p.workload, "Figure 11", "selected panel");
-    return 0;
+    run_panel(p, p.workload, "Figure 11", "selected panel", report);
+  } else {
+    run_panel(p, Workload::kEmptyDeq, "Figure 11a",
+              "empty Dequeue throughput, x86-64", report);
+    run_panel(p, Workload::kPairs, "Figure 11b",
+              "pairwise Enqueue-Dequeue, x86-64", report);
+    run_panel(p, Workload::kP5050, "Figure 11c",
+              "50%/50% Enqueue-Dequeue, x86-64", report);
   }
-  run_panel(p, Workload::kEmptyDeq, "Figure 11a",
-            "empty Dequeue throughput, x86-64");
-  run_panel(p, Workload::kPairs, "Figure 11b",
-            "pairwise Enqueue-Dequeue, x86-64");
-  run_panel(p, Workload::kP5050, "Figure 11c",
-            "50%/50% Enqueue-Dequeue, x86-64");
+  if (!p.json_path.empty()) report.write(p.json_path);
   return 0;
 }

@@ -17,7 +17,7 @@ namespace wcq::bench {
 namespace {
 
 void run_panel(BenchParams p, Workload w, const char* figure,
-               const char* caption) {
+               const char* caption, JsonReport& report) {
   p.workload = w;
   print_preamble(figure, caption, p);
   std::vector<Series> series;
@@ -31,6 +31,7 @@ void run_panel(BenchParams p, Workload w, const char* figure,
   run_series<MsAdapter>(p, series);
   print_throughput_table(series, p.thread_counts);
   print_cv_note(series);
+  report.add_panel(caption, p, series);
   std::printf("\n");
 }
 
@@ -40,19 +41,22 @@ void run_panel(BenchParams p, Workload w, const char* figure,
 int main(int argc, char** argv) {
   using namespace wcq::bench;
   BenchParams p = BenchParams::parse(argc, argv);
+  JsonReport report;
   bool explicit_workload = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--workload", 10) == 0) explicit_workload = true;
   }
   if (explicit_workload) {
-    run_panel(p, p.workload, "Figure 12", "selected panel (portable wCQ)");
-    return 0;
+    run_panel(p, p.workload, "Figure 12", "selected panel (portable wCQ)",
+              report);
+  } else {
+    run_panel(p, Workload::kEmptyDeq, "Figure 12a",
+              "empty Dequeue throughput, portable (LL/SC) build", report);
+    run_panel(p, Workload::kPairs, "Figure 12b",
+              "pairwise Enqueue-Dequeue, portable (LL/SC) build", report);
+    run_panel(p, Workload::kP5050, "Figure 12c",
+              "50%/50% Enqueue-Dequeue, portable (LL/SC) build", report);
   }
-  run_panel(p, Workload::kEmptyDeq, "Figure 12a",
-            "empty Dequeue throughput, portable (LL/SC) build");
-  run_panel(p, Workload::kPairs, "Figure 12b",
-            "pairwise Enqueue-Dequeue, portable (LL/SC) build");
-  run_panel(p, Workload::kP5050, "Figure 12c",
-            "50%/50% Enqueue-Dequeue, portable (LL/SC) build");
+  if (!p.json_path.empty()) report.write(p.json_path);
   return 0;
 }

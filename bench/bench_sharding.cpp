@@ -1,0 +1,108 @@
+// Sharded front-end sweep (src/scale/, DESIGN.md §7): how the sharded
+// wCQ composition scales with shard count, and what the batch path buys.
+//
+//   S1  shard-count sweep on the burst workload — bursty occupancy with
+//       backpressure, the traffic shape the sharded front-end targets; the
+//       plain wCQ ring is the 1-shard baseline.
+//   S2  batch-vs-single on the p5050 workload — the bulk paths amortize the
+//       ring F&A and threshold traffic, so batch >= 8 should sit at or
+//       above the single-op series for the same queue.
+//
+// Flags as the other drivers, plus --batch=N (default 8 here) and
+// WCQ_BENCH_SHARDS / WCQ_BENCH_SHARD_ORDER for the sharded defaults.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "harness/adapters.hpp"
+#include "harness/runner.hpp"
+
+namespace wcq::bench {
+namespace {
+
+template <typename Adapter>
+Series run_named(const BenchParams& p, std::string name) {
+  Series s;
+  s.name = std::move(name);
+  for (unsigned t : p.thread_counts) {
+    std::fprintf(stderr, "  [%s] %u thread(s)...\n", s.name.c_str(), t);
+    s.points.push_back(measure_point<Adapter>(p, t));
+  }
+  return s;
+}
+
+void run_sharding(BenchParams p, bool batch_explicit) {
+  // This driver exists for the batch path, so an *unset* batch defaults to
+  // 8; an explicit --batch=1 / WCQ_BENCH_BATCH=1 is honored (single-op
+  // sweep).
+  if (p.batch <= 1 && !batch_explicit) p.batch = 8;
+  JsonReport report;
+
+  // S1: shard sweep, burst workload, batch path on.
+  {
+    BenchParams q = p;
+    q.workload = Workload::kBurst;
+    print_preamble("Sharding S1",
+                   "shard-count sweep, burst workload (batch path)", q);
+    std::printf("# batch=%u shard_order=%u\n", q.batch,
+                sharded_shard_order());
+    std::vector<Series> series;
+    series.push_back(run_named<WcqAdapter>(q, "wCQ-ring"));
+    for (unsigned shards : {1u, 2u, 4u, 8u}) {
+      g_sharded_shards = shards;
+      series.push_back(run_named<ShardedAdapter>(
+          q, "shards=" + std::to_string(shards)));
+    }
+    g_sharded_shards = 0;
+    print_throughput_table(series, q.thread_counts);
+    print_cv_note(series);
+    report.add_panel("S1 shard sweep (burst)", q, series);
+    std::printf("\n");
+  }
+
+  // S2: batch path vs single-op on p5050 (the accounting-honest comparison:
+  // both series report executed ops, see harness/measure.hpp).
+  {
+    BenchParams q = p;
+    q.workload = Workload::kP5050;
+    print_preamble("Sharding S2", "batch vs single-op, p5050 workload", q);
+    BenchParams single = q;
+    single.batch = 1;
+    Series wcq_single = run_named<WcqAdapter>(single, "wCQ batch=1");
+    Series sharded_single =
+        run_named<ShardedAdapter>(single, "Sharded batch=1");
+    std::vector<Series> series;
+    series.push_back(wcq_single);
+    series.push_back(sharded_single);
+    if (q.batch > 1) {
+      series.push_back(run_named<WcqAdapter>(
+          q, "wCQ batch=" + std::to_string(q.batch)));
+      series.push_back(run_named<ShardedAdapter>(
+          q, "Sharded batch=" + std::to_string(q.batch)));
+    }
+    print_throughput_table(series, q.thread_counts);
+    print_cv_note(series);
+    report.add_panel("S2 batch vs single (p5050)", q, series);
+    // The mixed panel above carries q.batch; record the single-op baseline
+    // under its own batch=1 params so the JSON is self-describing.
+    report.add_panel("S2 single-op baseline (p5050)", single,
+                     {wcq_single, sharded_single});
+  }
+
+  if (!p.json_path.empty()) report.write(p.json_path);
+}
+
+}  // namespace
+}  // namespace wcq::bench
+
+int main(int argc, char** argv) {
+  wcq::bench::BenchParams p = wcq::bench::BenchParams::parse(argc, argv);
+  bool batch_explicit = std::getenv("WCQ_BENCH_BATCH") != nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--batch=", 8) == 0) batch_explicit = true;
+  }
+  wcq::bench::run_sharding(p, batch_explicit);
+  return 0;
+}

@@ -6,6 +6,8 @@
 // WCQ_BENCH_ORDER overrides the wCQ/SCQ ring order for quick experiments.
 #pragma once
 
+#include <cstddef>
+
 #include "baselines/cc_queue.hpp"
 #include "baselines/crturn_queue.hpp"
 #include "baselines/faa_queue.hpp"
@@ -17,12 +19,48 @@
 #include "core/unbounded_queue.hpp"
 #include "core/wcq.hpp"
 #include "core/wcq_llsc.hpp"
+#include "scale/sharded_queue.hpp"
 
 namespace wcq::bench {
 
 inline unsigned ring_order() {
   return static_cast<unsigned>(env_u64("WCQ_BENCH_ORDER", 15));
 }
+
+// Sharded front-end parameters. The shard count can be overridden
+// programmatically (bench_sharding's sweep) ahead of the env/default.
+inline unsigned g_sharded_shards = 0;  // 0 = use WCQ_BENCH_SHARDS (default 4)
+
+inline unsigned sharded_shard_count() {
+  if (g_sharded_shards != 0) return g_sharded_shards;
+  return static_cast<unsigned>(env_u64("WCQ_BENCH_SHARDS", 4));
+}
+
+inline unsigned sharded_shard_order() {
+  return static_cast<unsigned>(env_u64("WCQ_BENCH_SHARD_ORDER", 12));
+}
+
+namespace detail {
+
+// Ring adapters transfer indices < capacity; bulk spans are masked through a
+// fixed chunk so the adapter keeps the harness's "payload is arbitrary"
+// contract without allocating.
+template <typename Queue>
+std::size_t ring_enqueue_bulk(Queue& q, const u64* v, std::size_t n) {
+  constexpr std::size_t kChunk = 64;
+  u64 masked[kChunk];
+  const u64 mask = q.capacity() - 1;
+  std::size_t done = 0;
+  while (done < n) {
+    const std::size_t span = n - done < kChunk ? n - done : kChunk;
+    for (std::size_t i = 0; i < span; ++i) masked[i] = v[done + i] & mask;
+    q.enqueue_bulk(masked, span);
+    done += span;
+  }
+  return n;  // ring bulk enqueue inserts everything
+}
+
+}  // namespace detail
 
 // Rings transfer indices < capacity; the harness masks payloads (the
 // paper's benchmark does the same — throughput, not payload, is measured).
@@ -45,6 +83,12 @@ struct WcqAdapter {
     out = *v;
     return true;
   }
+  static std::size_t enqueue_bulk(Queue& q, const u64* v, std::size_t n) {
+    return detail::ring_enqueue_bulk(q, v, n);
+  }
+  static std::size_t dequeue_bulk(Queue& q, u64* out, std::size_t n) {
+    return q.dequeue_bulk(out, n);
+  }
 };
 
 struct WcqLlscAdapter {
@@ -65,6 +109,12 @@ struct WcqLlscAdapter {
     if (!v) return false;
     out = *v;
     return true;
+  }
+  static std::size_t enqueue_bulk(Queue& q, const u64* v, std::size_t n) {
+    return detail::ring_enqueue_bulk(q, v, n);
+  }
+  static std::size_t dequeue_bulk(Queue& q, u64* out, std::size_t n) {
+    return q.dequeue_bulk(out, n);
   }
 };
 
@@ -107,6 +157,32 @@ inline constexpr char kLcrqName[] = "LCRQ";
 inline constexpr char kYmcName[] = "YMC";
 inline constexpr char kCrTurnName[] = "CRTurn";
 inline constexpr char kUnboundedName[] = "UwCQ";
+
+// Sharded front-end (src/scale/): a value queue (no index masking), shard
+// count from g_sharded_shards / WCQ_BENCH_SHARDS, per-shard capacity
+// 2^WCQ_BENCH_SHARD_ORDER. Full is real backpressure here, so enqueue's
+// boolean matters to the workloads.
+struct ShardedAdapter {
+  static constexpr const char* kName = "Sharded-wCQ";
+  using Queue = ShardedQueue<u64, WCQ>;
+  static Queue* create() {
+    return new Queue(sharded_shard_count(), sharded_shard_order());
+  }
+  static void destroy(Queue* q) { delete q; }
+  static bool enqueue(Queue& q, u64 v) { return q.enqueue(v); }
+  static bool dequeue(Queue& q, u64& out) {
+    auto v = q.dequeue();
+    if (!v) return false;
+    out = *v;
+    return true;
+  }
+  static std::size_t enqueue_bulk(Queue& q, const u64* v, std::size_t n) {
+    return q.enqueue_bulk(v, n);
+  }
+  static std::size_t dequeue_bulk(Queue& q, u64* out, std::size_t n) {
+    return q.dequeue_bulk(out, n);
+  }
+};
 
 using FaaAdapter = SimpleAdapter<FAAQueue, kFaaName>;
 using MsAdapter = SimpleAdapter<MSQueue, kMsName>;

@@ -9,13 +9,25 @@
 //     static void destroy(Queue*);
 //     static bool enqueue(Queue&, u64);  // false = full (retried by workload)
 //     static bool dequeue(Queue&, u64&); // false = empty
+//     // Optional batch path, used when BenchParams::batch > 1:
+//     static std::size_t enqueue_bulk(Queue&, const u64*, std::size_t);
+//     static std::size_t dequeue_bulk(Queue&, u64*, std::size_t);
 //   };
+//
+// Accounting contract: every workload loop counts the operations it actually
+// attempted (a full/empty attempt counts, exactly as in the paper's
+// methodology; an operation the loop never issued does not), each worker
+// returns its count, and the reported throughput divides the summed executed
+// ops — never the requested `p.ops` — by the wall time. Memory counters are
+// sampled per run and summarized across runs like the throughput samples.
 #pragma once
 
 #include <atomic>
 #include <chrono>
+#include <cstddef>
 #include <cstdint>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 #include "common/alloc_meter.hpp"
@@ -30,10 +42,10 @@ using u64 = std::uint64_t;
 
 struct PointResult {
   unsigned threads = 0;
-  Summary mops;             // millions of operations per second across runs
-  std::int64_t live_bytes = 0;  // allocator-live bytes after the run
-  std::int64_t peak_bytes = 0;  // peak during the run
-  std::uint64_t rss_bytes = 0;
+  Summary mops;        // millions of executed operations per second, per run
+  Summary live_bytes;  // allocator-live delta after each run
+  Summary peak_bytes;  // allocator peak during each run
+  Summary rss_bytes;   // process RSS sampled after each run
 };
 
 namespace detail {
@@ -43,36 +55,130 @@ inline void tiny_random_delay(Xoshiro256& rng, unsigned max_spins) {
   for (u64 i = 0; i < spins; ++i) cpu_relax();
 }
 
+template <typename Adapter, typename = void>
+struct AdapterHasBulk : std::false_type {};
 template <typename Adapter>
-void worker_body(typename Adapter::Queue& q, Workload w, u64 my_ops,
-                 unsigned thread_index, unsigned max_delay_spins) {
-  Xoshiro256 rng{0x1234567ULL * (thread_index + 1)};
+struct AdapterHasBulk<
+    Adapter,
+    std::void_t<decltype(Adapter::enqueue_bulk(
+                    std::declval<typename Adapter::Queue&>(),
+                    static_cast<const u64*>(nullptr), std::size_t{0})),
+                decltype(Adapter::dequeue_bulk(
+                    std::declval<typename Adapter::Queue&>(),
+                    static_cast<u64*>(nullptr), std::size_t{0}))>>
+    : std::true_type {};
+
+// Per-workload loops. Each returns the number of operations it executed;
+// `my_ops` is the exact quota this worker was assigned (measure_point spreads
+// the p.ops % threads remainder instead of dropping it).
+template <typename Adapter>
+u64 worker_body(typename Adapter::Queue& q, const BenchParams& p, u64 my_ops,
+                unsigned thread_index, unsigned run) {
+  // Mix the run index into the seed so repeated runs of one point do not
+  // replay identical coin-flip/delay sequences (which made the run-to-run
+  // spread a fiction for the random workloads).
+  Xoshiro256 rng{0x1234567ULL * (thread_index + 1) +
+                 0x9e3779b97f4a7c15ULL * run};
   const u64 payload = thread_index % 16;
-  switch (w) {
-    case Workload::kPairs:
-      for (u64 i = 0; i + 1 < my_ops; i += 2) {
+  // Batch staging buffers. Enqueue payloads are constant; the dequeue buffer
+  // is scratch. Sized by the parse()-enforced kMaxBatch clamp.
+  const u64 batch = p.batch > 1 ? p.batch : 1;
+  u64 enq_buf[BenchParams::kMaxBatch];
+  u64 deq_buf[BenchParams::kMaxBatch];
+  for (u64 i = 0; i < batch; ++i) enq_buf[i] = payload;
+  constexpr bool kBulk = AdapterHasBulk<Adapter>::value;
+
+  u64 executed = 0;
+  switch (p.workload) {
+    case Workload::kPairs: {
+      u64 i = 0;
+      if constexpr (kBulk) {
+        // Per-thread ledger of enqueued-minus-dequeued. A bulk dequeue can
+        // transiently return fewer than its span (contended ranks yield
+        // nothing; the elements sit at later ranks), while ring bulk
+        // enqueues insert everything — without compensation that shortfall
+        // accumulates run-long and can push ring occupancy past the
+        // "at most capacity() live indices" precondition. The ledger
+        // credits actual insertions (value queues may accept fewer) and is
+        // drained whenever it reaches 2*batch, capping this thread's
+        // occupancy contribution; a zero-yield drain means other threads
+        // consumed the elements (no occupancy risk), so it stops rather
+        // than spin. Drain attempts are real dequeues and count as
+        // executed ops.
+        u64 outstanding = 0;
+        for (; batch > 1 && i + 2 * batch <= my_ops; i += 2 * batch) {
+          outstanding += Adapter::enqueue_bulk(q, enq_buf, batch);
+          const u64 span = outstanding < batch ? outstanding : batch;
+          const u64 got = span > 0 ? Adapter::dequeue_bulk(q, deq_buf, span) : 0;
+          outstanding -= got < outstanding ? got : outstanding;
+          executed += batch + span;
+          while (outstanding >= 2 * batch) {
+            const u64 g2 = Adapter::dequeue_bulk(q, deq_buf, batch);
+            executed += batch;
+            if (g2 == 0) break;
+            outstanding -= g2 < outstanding ? g2 : outstanding;
+          }
+        }
+      }
+      for (; i + 1 < my_ops; i += 2) {
         while (!Adapter::enqueue(q, payload)) cpu_relax();
         u64 out;
         (void)Adapter::dequeue(q, out);
+        executed += 2;
+      }
+      if (i < my_ops) {  // odd quota: the final op is a lone enqueue
+        while (!Adapter::enqueue(q, payload)) cpu_relax();
+        executed += 1;
       }
       break;
-    case Workload::kP5050:
-      for (u64 i = 0; i < my_ops; ++i) {
+    }
+    case Workload::kP5050: {
+      for (u64 i = 0; i < my_ops;) {
+        const u64 span = batch < my_ops - i ? batch : my_ops - i;
+        if constexpr (kBulk) {
+          if (span > 1) {
+            if (rng.coin()) {
+              (void)Adapter::enqueue_bulk(q, enq_buf, span);  // full = attempt
+            } else {
+              (void)Adapter::dequeue_bulk(q, deq_buf, span);
+            }
+            executed += span;
+            i += span;
+            continue;
+          }
+        }
         if (rng.coin()) {
           (void)Adapter::enqueue(q, payload);  // full counts as an attempt
         } else {
           u64 out;
           (void)Adapter::dequeue(q, out);
         }
+        ++executed;
+        ++i;
       }
       break;
-    case Workload::kEmptyDeq:
-      for (u64 i = 0; i < my_ops; ++i) {
+    }
+    case Workload::kEmptyDeq: {
+      for (u64 i = 0; i < my_ops;) {
+        const u64 span = batch < my_ops - i ? batch : my_ops - i;
+        if constexpr (kBulk) {
+          if (span > 1) {
+            (void)Adapter::dequeue_bulk(q, deq_buf, span);
+            executed += span;
+            i += span;
+            continue;
+          }
+        }
         u64 out;
         (void)Adapter::dequeue(q, out);
+        ++executed;
+        ++i;
       }
       break;
-    case Workload::kMemory:
+    }
+    case Workload::kMemory: {
+      // Deliberately single-op regardless of batch: the tiny delays between
+      // individual operations are the point of the Fig 10 configuration.
       for (u64 i = 0; i < my_ops; ++i) {
         if (rng.coin()) {
           (void)Adapter::enqueue(q, payload);
@@ -80,10 +186,64 @@ void worker_body(typename Adapter::Queue& q, Workload w, u64 my_ops,
           u64 out;
           (void)Adapter::dequeue(q, out);
         }
-        tiny_random_delay(rng, max_delay_spins);
+        ++executed;
+        tiny_random_delay(rng, p.max_delay_spins);
       }
       break;
+    }
+    case Workload::kBurst: {
+      // Producer phase of `batch` enqueues, then a consumer phase draining
+      // the same span: bursty occupancy with backpressure at the full/empty
+      // edges. Attempts count whether or not the queue accepted them. The
+      // bulk path keeps the same insertion ledger as kPairs — ring adapters
+      // never report full, so a systematic dequeue shortfall would
+      // otherwise ratchet occupancy up run-long.
+      u64 outstanding = 0;
+      for (u64 i = 0; i < my_ops;) {
+        const u64 eb = batch < my_ops - i ? batch : my_ops - i;
+        if constexpr (kBulk) {
+          if (eb > 1) {
+            outstanding += Adapter::enqueue_bulk(q, enq_buf, eb);
+          } else if (Adapter::enqueue(q, payload)) {
+            ++outstanding;
+          }
+        } else {
+          for (u64 k = 0; k < eb; ++k) (void)Adapter::enqueue(q, payload);
+        }
+        executed += eb;
+        i += eb;
+        const u64 db = batch < my_ops - i ? batch : my_ops - i;
+        if (db == 0) break;
+        if constexpr (kBulk) {
+          u64 got = 0;
+          if (db > 1) {
+            got = Adapter::dequeue_bulk(q, deq_buf, db);
+          } else {
+            u64 out;
+            got = Adapter::dequeue(q, out) ? 1 : 0;
+          }
+          outstanding -= got < outstanding ? got : outstanding;
+        } else {
+          for (u64 k = 0; k < db; ++k) {
+            u64 out;
+            (void)Adapter::dequeue(q, out);
+          }
+        }
+        executed += db;
+        i += db;
+        if constexpr (kBulk) {
+          while (outstanding >= 4 * batch) {
+            const u64 g2 = Adapter::dequeue_bulk(q, deq_buf, batch);
+            executed += batch;
+            if (g2 == 0) break;  // consumed elsewhere: no occupancy risk
+            outstanding -= g2 < outstanding ? g2 : outstanding;
+          }
+        }
+      }
+      break;
+    }
   }
+  return executed;
 }
 
 }  // namespace detail
@@ -92,8 +252,11 @@ template <typename Adapter>
 PointResult measure_point(const BenchParams& p, unsigned threads) {
   PointResult result;
   result.threads = threads;
-  std::vector<double> samples;
-  samples.reserve(p.runs);
+  std::vector<double> mops_samples, live_samples, peak_samples, rss_samples;
+  mops_samples.reserve(p.runs);
+  live_samples.reserve(p.runs);
+  peak_samples.reserve(p.runs);
+  rss_samples.reserve(p.runs);
 
   for (unsigned run = 0; run < p.runs; ++run) {
     alloc_meter::reset_peak();
@@ -102,16 +265,20 @@ PointResult measure_point(const BenchParams& p, unsigned threads) {
 
     std::atomic<unsigned> ready{0};
     std::atomic<bool> go{false};
+    // Exact quota split: the first (p.ops % threads) workers take one extra
+    // op, so requested and assigned totals match.
     const u64 per_thread = p.ops / threads;
+    const u64 remainder = p.ops % threads;
+    std::vector<u64> executed(threads, 0);
     std::vector<std::thread> ts;
     ts.reserve(threads);
     for (unsigned t = 0; t < threads; ++t) {
       ts.emplace_back([&, t] {
         if (p.pin) pin_thread(t);
+        const u64 my_ops = per_thread + (t < remainder ? 1 : 0);
         ready.fetch_add(1, std::memory_order_acq_rel);
         while (!go.load(std::memory_order_acquire)) cpu_relax();
-        detail::worker_body<Adapter>(*q, p.workload, per_thread, t,
-                                     p.max_delay_spins);
+        executed[t] = detail::worker_body<Adapter>(*q, p, my_ops, t, run);
       });
     }
     while (ready.load(std::memory_order_acquire) < threads) cpu_relax();
@@ -121,15 +288,21 @@ PointResult measure_point(const BenchParams& p, unsigned threads) {
     const auto t1 = std::chrono::steady_clock::now();
 
     const double secs = std::chrono::duration<double>(t1 - t0).count();
-    const double total_ops = static_cast<double>(per_thread) * threads;
-    samples.push_back(total_ops / secs / 1e6);
+    u64 total_ops = 0;
+    for (const u64 e : executed) total_ops += e;
+    mops_samples.push_back(static_cast<double>(total_ops) / secs / 1e6);
 
-    result.live_bytes = alloc_meter::live_bytes() - live_before;
-    result.peak_bytes = alloc_meter::peak_bytes() - live_before;
-    result.rss_bytes = current_rss_bytes();
+    live_samples.push_back(
+        static_cast<double>(alloc_meter::live_bytes() - live_before));
+    peak_samples.push_back(
+        static_cast<double>(alloc_meter::peak_bytes() - live_before));
+    rss_samples.push_back(static_cast<double>(current_rss_bytes()));
     Adapter::destroy(q);
   }
-  result.mops = summarize(samples);
+  result.mops = summarize(mops_samples);
+  result.live_bytes = summarize(live_samples);
+  result.peak_bytes = summarize(peak_samples);
+  result.rss_bytes = summarize(rss_samples);
   return result;
 }
 

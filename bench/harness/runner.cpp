@@ -1,5 +1,6 @@
 #include "harness/runner.hpp"
 
+#include <cstddef>
 #include <cstdio>
 
 namespace wcq::bench {
@@ -54,7 +55,7 @@ void print_memory_table(const std::vector<Series>& series,
     for (const auto& s : series) {
       const PointResult* pt = find_point(s, t);
       if (pt != nullptr) {
-        std::printf(",%.2f", static_cast<double>(pt->peak_bytes) / 1e6);
+        std::printf(",%.2f", pt->peak_bytes.mean / 1e6);
       } else {
         std::printf(",-");
       }
@@ -72,6 +73,59 @@ void print_cv_note(const std::vector<Series>& series) {
   }
   std::printf("# worst coefficient of variation across points: %.4f%s\n",
               worst, worst < 0.01 ? " (<0.01, as in the paper)" : "");
+}
+
+void JsonReport::add_panel(const std::string& caption, const BenchParams& p,
+                           const std::vector<Series>& series) {
+  Panel panel;
+  panel.caption = caption;
+  panel.workload = workload_name(p.workload);
+  panel.ops = p.ops;
+  panel.runs = p.runs;
+  panel.batch = p.batch;
+  panel.series = series;
+  panels_.push_back(std::move(panel));
+}
+
+bool JsonReport::write(const std::string& path) const {
+  if (path.empty()) return true;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "JsonReport: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n  \"panels\": [\n");
+  for (std::size_t pi = 0; pi < panels_.size(); ++pi) {
+    const Panel& p = panels_[pi];
+    std::fprintf(f,
+                 "    {\"caption\": \"%s\", \"workload\": \"%s\", "
+                 "\"ops\": %llu, \"runs\": %u, \"batch\": %u,\n"
+                 "     \"series\": [\n",
+                 p.caption.c_str(), p.workload.c_str(),
+                 static_cast<unsigned long long>(p.ops), p.runs, p.batch);
+    for (std::size_t si = 0; si < p.series.size(); ++si) {
+      const Series& s = p.series[si];
+      std::fprintf(f, "      {\"name\": \"%s\", \"points\": [\n",
+                   s.name.c_str());
+      for (std::size_t qi = 0; qi < s.points.size(); ++qi) {
+        const PointResult& pt = s.points[qi];
+        std::fprintf(f,
+                     "        {\"threads\": %u, \"mops_mean\": %.6f, "
+                     "\"mops_cv\": %.6f, \"live_bytes_mean\": %.1f, "
+                     "\"peak_bytes_mean\": %.1f, \"rss_bytes_mean\": %.1f}%s\n",
+                     pt.threads, pt.mops.mean, pt.mops.cv, pt.live_bytes.mean,
+                     pt.peak_bytes.mean, pt.rss_bytes.mean,
+                     qi + 1 < s.points.size() ? "," : "");
+      }
+      std::fprintf(f, "      ]}%s\n",
+                   si + 1 < p.series.size() ? "," : "");
+    }
+    std::fprintf(f, "    ]}%s\n", pi + 1 < panels_.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::fprintf(stderr, "JsonReport: wrote %s\n", path.c_str());
+  return true;
 }
 
 }  // namespace wcq::bench

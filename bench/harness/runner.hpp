@@ -24,6 +24,29 @@ void print_memory_table(const std::vector<Series>& series,
                         const std::vector<unsigned>& threads);
 void print_cv_note(const std::vector<Series>& series);
 
+// Machine-readable run report: drivers add one panel per table they print
+// and write the whole thing when BenchParams::json_path is set (CI uploads
+// the smoke-run reports as workflow artifacts).
+class JsonReport {
+ public:
+  void add_panel(const std::string& caption, const BenchParams& p,
+                 const std::vector<Series>& series);
+  // Writes the collected panels; no-op when path is empty. Returns false
+  // (with a note on stderr) if the file cannot be opened.
+  bool write(const std::string& path) const;
+
+ private:
+  struct Panel {
+    std::string caption;
+    std::string workload;
+    std::uint64_t ops = 0;
+    unsigned runs = 0;
+    unsigned batch = 1;
+    std::vector<Series> series;
+  };
+  std::vector<Panel> panels_;
+};
+
 // Measure one adapter across the sweep (skipped if filtered out by --only).
 template <typename Adapter>
 void run_series(const BenchParams& p, std::vector<Series>& out) {

@@ -18,6 +18,8 @@ const char* workload_name(Workload w) {
       return "empty";
     case Workload::kMemory:
       return "memory";
+    case Workload::kBurst:
+      return "burst";
   }
   return "?";
 }
@@ -76,6 +78,7 @@ BenchParams BenchParams::parse(int argc, char** argv) {
   p.ops = env_u64("WCQ_BENCH_OPS", p.ops);
   p.runs = static_cast<unsigned>(env_u64("WCQ_BENCH_RUNS", p.runs));
   p.pin = env_flag("WCQ_BENCH_PIN", p.pin);
+  p.batch = static_cast<unsigned>(env_u64("WCQ_BENCH_BATCH", p.batch));
   if (env_flag("WCQ_BENCH_FULL", false)) {
     p.ops = 10'000'000;
     p.runs = 10;
@@ -96,6 +99,11 @@ BenchParams BenchParams::parse(int argc, char** argv) {
       else if (v == "p5050") p.workload = Workload::kP5050;
       else if (v == "empty") p.workload = Workload::kEmptyDeq;
       else if (v == "memory") p.workload = Workload::kMemory;
+      else if (v == "burst") p.workload = Workload::kBurst;
+    } else if (flag_value(argv[i], "--batch", v)) {
+      p.batch = static_cast<unsigned>(std::stoul(v));
+    } else if (flag_value(argv[i], "--json", v)) {
+      p.json_path = v;
     } else if (flag_value(argv[i], "--only", v)) {
       p.only = parse_names(v);
     } else if (std::strcmp(argv[i], "--no-pin") == 0) {
@@ -107,6 +115,8 @@ BenchParams BenchParams::parse(int argc, char** argv) {
   }
   if (p.thread_counts.empty()) p.thread_counts = default_thread_counts();
   if (p.runs == 0) p.runs = 1;
+  if (p.batch == 0) p.batch = 1;
+  if (p.batch > kMaxBatch) p.batch = kMaxBatch;
   return p;
 }
 

@@ -13,7 +13,9 @@
 // WCQ (default), lock-free with SCQ.
 #pragma once
 
+#include <algorithm>
 #include <cassert>
+#include <cstddef>
 #include <new>
 #include <optional>
 #include <type_traits>
@@ -24,6 +26,22 @@
 #include "core/wcq.hpp"
 
 namespace wcq {
+
+namespace detail {
+
+// Ring bulk capability: BasicWCQ rings expose {enqueue,dequeue}_bulk
+// (DESIGN.md §7); SCQ does not, and falls back to per-op loops below.
+template <typename Ring, typename = void>
+struct RingHasBulk : std::false_type {};
+template <typename Ring>
+struct RingHasBulk<
+    Ring, std::void_t<decltype(std::declval<Ring&>().enqueue_bulk(
+                          static_cast<const u64*>(nullptr), std::size_t{0})),
+                      decltype(std::declval<Ring&>().dequeue_bulk(
+                          static_cast<u64*>(nullptr), std::size_t{0}))>>
+    : std::true_type {};
+
+}  // namespace detail
 
 template <typename T, typename Ring = WCQ>
 class BoundedQueue {
@@ -52,7 +70,13 @@ class BoundedQueue {
   u64 capacity() const { return aq_.capacity(); }
 
   // Returns false when the queue is full.
-  bool enqueue(T value) {
+  bool enqueue(T value) { return enqueue_movable(value); }
+
+  // Enqueue by reference: on success `value` is moved-from, on failure it is
+  // left intact. Callers that retarget a rejected element (ShardedQueue's
+  // spill sweep) need the failure case to preserve ownership, which the
+  // by-value overload cannot.
+  bool enqueue_movable(T& value) {
     const auto idx = fq_.dequeue();
     if (!idx) return false;
     ::new (static_cast<void*>(slot(*idx))) T(std::move(value));
@@ -71,11 +95,91 @@ class BoundedQueue {
     return out;
   }
 
+  // Batch insert (DESIGN.md §7): enqueues up to `n` values from `first`,
+  // returning how many were taken. Exactly the first `ret` elements are
+  // moved-from (a const source is copied instead); partial success means the
+  // queue filled up mid-span. Free indices are claimed and published through
+  // the rings' bulk paths in chunks, so the per-operation Tail/Head F&A and
+  // threshold traffic amortize across the span.
+  template <typename U,
+            std::enable_if_t<std::is_same_v<std::remove_const_t<U>, T>, int> = 0>
+  std::size_t enqueue_bulk(U* first, std::size_t n) {
+    std::size_t done = 0;
+    u64 idx[kBulkChunk];
+    while (done < n) {
+      const std::size_t want = std::min(n - done, kBulkChunk);
+      std::size_t got = 0;
+      if constexpr (detail::RingHasBulk<Ring>::value) {
+        got = fq_.dequeue_bulk(idx, want);
+      } else {
+        while (got < want) {
+          const auto i = fq_.dequeue();
+          if (!i) break;
+          idx[got++] = *i;
+        }
+      }
+      if (got == 0) break;  // full
+      for (std::size_t k = 0; k < got; ++k) {
+        ::new (static_cast<void*>(slot(idx[k]))) T(std::move(first[done + k]));
+      }
+      if constexpr (detail::RingHasBulk<Ring>::value) {
+        aq_.enqueue_bulk(idx, got);
+      } else {
+        for (std::size_t k = 0; k < got; ++k) aq_.enqueue(idx[k]);
+      }
+      done += got;
+      if (got < want) break;
+    }
+    return done;
+  }
+
+  // Batch remove (DESIGN.md §7): move-assigns up to `n` elements into `out`
+  // and returns how many. Fewer than `n` does not prove emptiness (the ring
+  // bulk path may cede contended ranks); use dequeue() for an authoritative
+  // empty answer.
+  std::size_t dequeue_bulk(T* out, std::size_t n) {
+    static_assert(std::is_nothrow_move_assignable_v<T>,
+                  "dequeue_bulk assigns into caller storage");
+    std::size_t done = 0;
+    u64 idx[kBulkChunk];
+    while (done < n) {
+      const std::size_t want = std::min(n - done, kBulkChunk);
+      std::size_t got = 0;
+      if constexpr (detail::RingHasBulk<Ring>::value) {
+        got = aq_.dequeue_bulk(idx, want);
+      } else {
+        while (got < want) {
+          const auto i = aq_.dequeue();
+          if (!i) break;
+          idx[got++] = *i;
+        }
+      }
+      if (got == 0) break;  // empty (or fully contended)
+      for (std::size_t k = 0; k < got; ++k) {
+        T* p = slot(idx[k]);
+        out[done + k] = std::move(*p);
+        p->~T();
+      }
+      if constexpr (detail::RingHasBulk<Ring>::value) {
+        fq_.enqueue_bulk(idx, got);
+      } else {
+        for (std::size_t k = 0; k < got; ++k) fq_.enqueue(idx[k]);
+      }
+      done += got;
+      if (got < want) break;
+    }
+    return done;
+  }
+
   // Ring access for diagnostics (e.g., threshold inspection in tests).
   const Ring& aq() const { return aq_; }
   const Ring& fq() const { return fq_; }
 
  private:
+  // Bulk spans are staged through a fixed stack buffer of indices so the
+  // batch paths never allocate; larger caller spans just loop chunks.
+  static constexpr std::size_t kBulkChunk = 64;
+
   struct alignas(alignof(T)) Storage {
     unsigned char bytes[sizeof(T)];
   };

@@ -194,6 +194,54 @@ class BasicWCQ {
     return std::nullopt;
   }
 
+  // Batch insert (DESIGN.md §7): all `n` indices are inserted. One Tail F&A
+  // reserves n consecutive ranks and the threshold is re-armed once for the
+  // whole span instead of once per element; ranks whose slot is unusable are
+  // abandoned (exactly as a failed fast-path attempt abandons its rank) and
+  // the affected indices fall back to the wait-free single-op path. The
+  // caller's "at most capacity() live indices" precondition covers the whole
+  // batch.
+  void enqueue_bulk(const u64* indices, std::size_t n) {
+    if (n == 0) return;
+    if (n == 1) return enqueue(indices[0]);
+    ThreadRec& rec = my_record();
+    help_threads(rec);
+    const u64 base = tail_.lo.fetch_add(n, std::memory_order_seq_cst);
+    std::size_t done = 0;
+    for (std::size_t k = 0; k < n && done < n; ++k) {
+      if (enq_at(base + k, indices[done], /*reset_thld=*/false)) ++done;
+    }
+    reset_threshold();  // one re-arm for the whole span
+    for (; done < n; ++done) enqueue(indices[done]);
+  }
+
+  // Batch remove (DESIGN.md §7): pops up to `n` indices into `out`, one Head
+  // F&A for the whole span. Returns the number actually dequeued; fewer than
+  // n does not imply emptiness (a rank can be contended away, the same
+  // transient a single-op fast-path retry absorbs) — partial success is the
+  // batch contract. Every reserved rank is processed (see deq_at).
+  std::size_t dequeue_bulk(u64* out, std::size_t n) {
+    if (n == 0) return 0;
+    if (threshold_.value.load(std::memory_order_acquire) < 0) {
+      return 0;  // empty fast-exit, no ranks burned
+    }
+    if (n == 1) {
+      const auto v = dequeue();
+      if (!v) return 0;
+      out[0] = *v;
+      return 1;
+    }
+    ThreadRec& rec = my_record();
+    help_threads(rec);
+    const u64 base = head_.lo.fetch_add(n, std::memory_order_seq_cst);
+    std::size_t got = 0;
+    for (std::size_t k = 0; k < n; ++k) {
+      u64 idx;
+      if (deq_at(base + k, idx) == DeqStatus::kOk) out[got++] = idx;
+    }
+    return got;
+  }
+
   // --- introspection hooks (tests / benches) -------------------------------
   i64 threshold() const {
     return threshold_.value.load(std::memory_order_acquire);
@@ -358,6 +406,15 @@ class BasicWCQ {
   bool try_enq(u64 index, u64& tail_out) {
     const u64 t = tail_.lo.fetch_add(1, std::memory_order_seq_cst);
     tail_out = t;
+    return enq_at(t, index, /*reset_thld=*/true);
+  }
+
+  // Process one already-reserved tail rank. Batch enqueues reserve a span of
+  // ranks with a single F&A and defer the threshold re-arm to the end of the
+  // span (reset_thld=false); deferring is safe because the bulk call has not
+  // returned, so a dequeuer reading the stale negative threshold linearizes
+  // its "empty" before these enqueues (same argument as deviation 7).
+  bool enq_at(u64 t, u64 index, bool reset_thld) {
     const u64 j = remap_(codec_.pos_of(t));
     const u64 cycle_t = codec_.cycle_of(t);
     u64 raw = entries_[j].lo.load(std::memory_order_acquire);
@@ -373,7 +430,7 @@ class BasicWCQ {
           continue;
         }
         dbg(kEvProducedFast, t, index);
-        reset_threshold();
+        if (reset_thld) reset_threshold();
         return true;
       }
       return false;
@@ -383,6 +440,15 @@ class BasicWCQ {
   DeqStatus try_deq(u64& index_out, u64& head_out) {
     const u64 h = head_.lo.fetch_add(1, std::memory_order_seq_cst);
     head_out = h;
+    return deq_at(h, index_out);
+  }
+
+  // Process one already-reserved head rank. Every reserved rank MUST pass
+  // through here: a claimed rank whose slot holds a cycle-matching element is
+  // the only dequeuer that will ever consume it (later cycles ⊥-mark or
+  // unsafe-mark, never consume), so abandoning a reservation would leak the
+  // element and its Fig 2 index forever.
+  DeqStatus deq_at(u64 h, u64& index_out) {
     const u64 j = remap_(codec_.pos_of(h));
     const u64 cycle_h = codec_.cycle_of(h);
     u64 raw = entries_[j].lo.load(std::memory_order_acquire);

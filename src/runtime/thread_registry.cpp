@@ -21,9 +21,17 @@ unsigned acquire_slot() {
       if (g_bitmap[w].compare_exchange_weak(bits, bits | (1ULL << bit),
                                             std::memory_order_acq_rel)) {
         const unsigned slot = w * 64 + bit;
+        // Release on advance pairs with the acquire load in high_water():
+        // reclamation/helping scans size their record iteration by
+        // high_water() and must observe everything this thread published
+        // before its slot became visible (the bitmap claim above). A relaxed
+        // advance would let a scanner see the new high-water mark without
+        // those prior writes.
         unsigned hw = g_high_water.load(std::memory_order_relaxed);
-        while (hw < slot + 1 && !g_high_water.compare_exchange_weak(
-                                    hw, slot + 1, std::memory_order_relaxed)) {
+        while (hw < slot + 1 &&
+               !g_high_water.compare_exchange_weak(hw, slot + 1,
+                                                   std::memory_order_release,
+                                                   std::memory_order_relaxed)) {
         }
         g_live.fetch_add(1, std::memory_order_relaxed);
         return slot;

@@ -27,7 +27,9 @@ class ThreadRegistry {
   static unsigned tid();
 
   // One past the highest slot ever acquired; helping loops iterate only
-  // [0, high_water()) instead of the full kMaxThreads.
+  // [0, high_water()) instead of the full kMaxThreads. The acquire load here
+  // pairs with the release advance in acquire_slot(), so a scan that
+  // observes slot s < high_water() also observes the claim of slot s.
   static unsigned high_water();
 
   // Number of currently-held slots (test hook).

@@ -18,6 +18,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <thread>
@@ -59,10 +60,47 @@ inline u64 tag(unsigned producer, u64 seq) {
   return (static_cast<u64>(producer) << 32) | seq;
 }
 
+// Post-run verification shared by the single-op and bulk harnesses:
+// exactly-once always; per-producer FIFO when `check_fifo` (a sharded
+// front-end routes one producer across shards, so only exactly-once holds
+// globally — its per-shard FIFO is checked separately).
+inline void check_consumer_logs(const std::vector<std::vector<u64>>& logs,
+                                const MpmcConfig& cfg, u64 items_per_producer,
+                                bool check_fifo) {
+  std::vector<std::vector<u64>> seen(cfg.producers);
+  for (unsigned c = 0; c < cfg.consumers; ++c) {
+    std::vector<u64> last(cfg.producers, 0);
+    std::vector<bool> has_last(cfg.producers, false);
+    for (u64 v : logs[c]) {
+      const unsigned p = static_cast<unsigned>(v >> 32);
+      const u64 seq = v & 0xFFFFFFFFu;
+      ASSERT_LT(p, cfg.producers) << "invented producer id";
+      ASSERT_LT(seq, items_per_producer) << "invented sequence";
+      if (check_fifo && has_last[p]) {
+        ASSERT_GT(seq, last[p])
+            << "per-producer FIFO violated within one consumer";
+      }
+      last[p] = seq;
+      has_last[p] = true;
+      seen[p].push_back(seq);
+    }
+  }
+  for (unsigned p = 0; p < cfg.producers; ++p) {
+    ASSERT_EQ(seen[p].size(), items_per_producer)
+        << "producer " << p << " item count mismatch";
+    std::vector<bool> mark(items_per_producer, false);
+    for (u64 s : seen[p]) {
+      ASSERT_FALSE(mark[s]) << "duplicate delivery of item " << s;
+      mark[s] = true;
+    }
+  }
+}
+
 // Queue concept: bool enqueue(u64) (false = full, retry) and
 // std::optional<u64> dequeue() (nullopt = empty).
 template <typename Queue>
-void run_mpmc_exactly_once(Queue& q, const MpmcConfig& cfg) {
+void run_mpmc_exactly_once(Queue& q, const MpmcConfig& cfg,
+                           bool check_fifo = true) {
   const u64 items_per_producer = scale_items(cfg.items_per_producer);
   const u64 total = items_per_producer * cfg.producers;
   std::atomic<u64> consumed{0};
@@ -110,35 +148,90 @@ void run_mpmc_exactly_once(Queue& q, const MpmcConfig& cfg) {
 
   ASSERT_EQ(consumed.load(), total);
   ASSERT_FALSE(q.dequeue().has_value()) << "queue not empty at the end";
+  check_consumer_logs(logs, cfg, items_per_producer, check_fifo);
+}
 
-  // exactly-once + per-producer FIFO.
-  std::vector<std::vector<u64>> seen(cfg.producers);
-  for (unsigned c = 0; c < cfg.consumers; ++c) {
-    std::vector<u64> last(cfg.producers, 0);
-    std::vector<bool> has_last(cfg.producers, false);
-    for (u64 v : logs[c]) {
-      const unsigned p = static_cast<unsigned>(v >> 32);
-      const u64 seq = v & 0xFFFFFFFFu;
-      ASSERT_LT(p, cfg.producers) << "invented producer id";
-      ASSERT_LT(seq, items_per_producer) << "invented sequence";
-      if (has_last[p]) {
-        ASSERT_GT(seq, last[p])
-            << "per-producer FIFO violated within one consumer";
-      }
-      last[p] = seq;
-      has_last[p] = true;
-      seen[p].push_back(seq);
-    }
-  }
+// Bulk-op linearizability harness: producers publish spans through
+// enqueue_bulk (span lengths cycle through 1..max_batch, partial success
+// retried from the unsent tail), consumers drain through dequeue_bulk. The
+// exactly-once and per-producer-FIFO checks are the same as the single-op
+// harness — batched spans must preserve program order end to end.
+//
+// Queue concept: size_t enqueue_bulk(u64*, size_t), size_t
+// dequeue_bulk(u64*, size_t), std::optional<u64> dequeue() (for the terminal
+// emptiness probe).
+template <typename Queue>
+void run_mpmc_bulk_exactly_once(Queue& q, const MpmcConfig& cfg,
+                                unsigned max_batch = 16,
+                                bool check_fifo = true) {
+  constexpr unsigned kMaxSpan = 64;
+  ASSERT_GE(max_batch, 1u);
+  ASSERT_LE(max_batch, kMaxSpan);
+  const u64 items_per_producer = scale_items(cfg.items_per_producer);
+  const u64 total = items_per_producer * cfg.producers;
+  std::atomic<u64> consumed{0};
+  std::atomic<bool> start{false};
+  std::vector<std::vector<u64>> logs(cfg.consumers);
+
+  std::vector<std::thread> threads;
+  threads.reserve(cfg.producers + cfg.consumers);
+
   for (unsigned p = 0; p < cfg.producers; ++p) {
-    ASSERT_EQ(seen[p].size(), items_per_producer)
-        << "producer " << p << " item count mismatch";
-    std::vector<bool> mark(items_per_producer, false);
-    for (u64 s : seen[p]) {
-      ASSERT_FALSE(mark[s]) << "duplicate delivery of item " << s;
-      mark[s] = true;
-    }
+    threads.emplace_back([&, p] {
+      if (cfg.pin) pin_thread(p);
+      Backoff bo;
+      while (!start.load(std::memory_order_acquire)) bo.pause();
+      u64 buf[kMaxSpan];
+      u64 next = 0;
+      while (next < items_per_producer) {
+        u64 span = 1 + (next + p) % max_batch;
+        if (span > items_per_producer - next) span = items_per_producer - next;
+        for (u64 k = 0; k < span; ++k) buf[k] = tag(p, next + k);
+        std::size_t sent = 0;
+        bo.reset();
+        while (sent < span) {
+          const std::size_t got = q.enqueue_bulk(buf + sent, span - sent);
+          if (got == 0) {
+            bo.pause();  // full: wait for consumers
+          } else {
+            bo.reset();
+          }
+          sent += got;
+        }
+        next += span;
+      }
+    });
   }
+  for (unsigned c = 0; c < cfg.consumers; ++c) {
+    threads.emplace_back([&, c] {
+      if (cfg.pin) pin_thread(cfg.producers + c);
+      auto& log = logs[c];
+      log.reserve(total / cfg.consumers + 16);
+      Backoff bo;
+      while (!start.load(std::memory_order_acquire)) bo.pause();
+      u64 buf[kMaxSpan];
+      u64 round = c;
+      bo.reset();
+      while (consumed.load(std::memory_order_relaxed) < total) {
+        const u64 span = 1 + round++ % max_batch;
+        const std::size_t got = q.dequeue_bulk(buf, span);
+        if (got > 0) {
+          log.insert(log.end(), buf, buf + got);
+          consumed.fetch_add(got, std::memory_order_relaxed);
+          bo.reset();
+        } else {
+          bo.pause();  // empty: wait for producers
+        }
+      }
+    });
+  }
+
+  start.store(true, std::memory_order_release);
+  for (auto& t : threads) t.join();
+
+  ASSERT_EQ(consumed.load(), total);
+  ASSERT_FALSE(q.dequeue().has_value()) << "queue not empty at the end";
+  check_consumer_logs(logs, cfg, items_per_producer, check_fifo);
 }
 
 // Count-based MPMC check on a raw index ring: each producer repeatedly

@@ -99,6 +99,54 @@ TEST(ThreadChurn, RegistrySharedAcrossQueueKinds) {
   EXPECT_FALSE(cq.dequeue().has_value());
 }
 
+TEST(ThreadChurn, HighWaterPublicationUnderChurn) {
+  // Churn regression for the high-water contract: high_water() must cover
+  // every slot already handed out, and must be monotonic, while threads
+  // register and exit concurrently. Each churning thread publishes its tid
+  // (release) after registering; a reader that acquires the published tid
+  // must observe high_water() > tid. (Note the test's own release/acquire
+  // hand-off also orders the advance, so the release-vs-relaxed choice on
+  // g_high_water itself is not distinguishable here — that pairing is
+  // documented at the advance site in thread_registry.cpp and exists for
+  // scanners that take high_water() as their only synchronization. This
+  // test pins the invariant and would catch an advance that happens after
+  // the slot becomes visible, or any non-monotonic update.)
+  std::atomic<bool> stop{false};
+  std::atomic<unsigned> published_tid{0};  // tid+1, 0 = none yet
+  std::atomic<u64> checks{0};
+
+  std::thread reader([&] {
+    unsigned last_hw = ThreadRegistry::high_water();
+    while (!stop.load(std::memory_order_acquire)) {
+      const unsigned seen = published_tid.load(std::memory_order_acquire);
+      const unsigned hw = ThreadRegistry::high_water();
+      if (seen != 0) {
+        ASSERT_GE(hw, seen) << "high_water lags a published registration";
+      }
+      ASSERT_GE(hw, last_hw) << "high_water must be monotonic";
+      last_hw = hw;
+      checks.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  for (int gen = 0; gen < 200; ++gen) {
+    std::thread t([&] {
+      const unsigned tid = ThreadRegistry::tid();  // registers this thread
+      unsigned cur = published_tid.load(std::memory_order_relaxed);
+      while (cur < tid + 1 &&
+             !published_tid.compare_exchange_weak(
+                 cur, tid + 1, std::memory_order_release,
+                 std::memory_order_relaxed)) {
+      }
+    });
+    t.join();
+  }
+  stop.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_GT(checks.load(), 0u);
+  EXPECT_GE(ThreadRegistry::high_water(), 1u);
+}
+
 TEST(ThreadChurn, HelpRequestsSurviveHelperExit) {
   // A requester's helpers may exit (and their tids be recycled) while the
   // request is still pending; the requester must still complete.
