@@ -29,11 +29,19 @@ int main(int argc, char** argv) {
   run_series<CcAdapter>(p, series);
   run_series<CrTurnAdapter>(p, series);
   run_series<MsAdapter>(p, series);
+  // Segment-pool A/B (DESIGN.md §8): same queue, recycling on/off. Compare
+  // them in the allocation-count table; WCQ_BENCH_SEGMENT_ORDER=4 amplifies
+  // segment churn for short runs.
+  run_series<UnboundedAdapter>(p, series);
+  run_series<UnboundedNoPoolAdapter>(p, series);
 
   std::printf("## Figure 10a: memory usage\n");
   print_memory_table(series, p.thread_counts);
   std::printf("\n## Figure 10b: throughput during the memory test\n");
   print_throughput_table(series, p.thread_counts);
+  std::printf("\n## Allocation churn (events per run; UwCQ vs UwCQ-nopool "
+              "is the segment-pool A/B)\n");
+  print_allocation_table(series, p.thread_counts);
   print_cv_note(series);
   if (!p.json_path.empty()) {
     JsonReport report;

@@ -156,7 +156,39 @@ inline constexpr char kCcName[] = "CCQueue";
 inline constexpr char kLcrqName[] = "LCRQ";
 inline constexpr char kYmcName[] = "YMC";
 inline constexpr char kCrTurnName[] = "CRTurn";
+
+// Unbounded (Appendix A) queue, as an A/B pair over the segment pool
+// (DESIGN.md §8): "UwCQ" recycles retired segments, "UwCQ-nopool" is the
+// malloc/free-per-segment behavior. WCQ_BENCH_SEGMENT_ORDER (default 10,
+// the paper's YMC segment size) sets elements per segment; small orders
+// (4-6) maximize segment churn and make the pool's allocation-count win
+// visible even in short runs.
+inline unsigned unbounded_segment_order() {
+  return static_cast<unsigned>(env_u64("WCQ_BENCH_SEGMENT_ORDER", 10));
+}
+
+template <bool Recycle, const char* Name>
+struct UnboundedQueueAdapter {
+  static constexpr const char* kName = Name;
+  using Queue = UnboundedQueue<u64>;
+  static Queue* create() {
+    typename Queue::Options o;
+    o.segment_order = unbounded_segment_order();
+    o.recycle = Recycle;
+    return new Queue(o);
+  }
+  static void destroy(Queue* q) { delete q; }
+  static bool enqueue(Queue& q, u64 v) { return q.enqueue(v); }
+  static bool dequeue(Queue& q, u64& out) {
+    auto v = q.dequeue();
+    if (!v) return false;
+    out = *v;
+    return true;
+  }
+};
+
 inline constexpr char kUnboundedName[] = "UwCQ";
+inline constexpr char kUnboundedNoPoolName[] = "UwCQ-nopool";
 
 // Sharded front-end (src/scale/): a value queue (no index masking), shard
 // count from g_sharded_shards / WCQ_BENCH_SHARDS, per-shard capacity
@@ -190,6 +222,8 @@ using CcAdapter = SimpleAdapter<CCQueue, kCcName>;
 using LcrqAdapter = SimpleAdapter<LCRQ, kLcrqName>;
 using YmcAdapter = SimpleAdapter<YMCQueue, kYmcName>;
 using CrTurnAdapter = SimpleAdapter<CRTurnQueue, kCrTurnName>;
-using UnboundedAdapter = SimpleAdapter<UnboundedQueue<u64>, kUnboundedName>;
+using UnboundedAdapter = UnboundedQueueAdapter<true, kUnboundedName>;
+using UnboundedNoPoolAdapter =
+    UnboundedQueueAdapter<false, kUnboundedNoPoolName>;
 
 }  // namespace wcq::bench

@@ -35,6 +35,7 @@
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "harness/workloads.hpp"
+#include "reclaim/hazard_pointers.hpp"
 
 namespace wcq::bench {
 
@@ -46,6 +47,10 @@ struct PointResult {
   Summary live_bytes;  // allocator-live delta after each run
   Summary peak_bytes;  // allocator peak during each run
   Summary rss_bytes;   // process RSS sampled after each run
+  Summary allocs;      // metered allocation events per run (count, not bytes;
+                       // includes queue construction — a recycling queue's
+                       // count converges to its warm-up allocations while a
+                       // churning one keeps growing with ops)
 };
 
 namespace detail {
@@ -250,17 +255,24 @@ u64 worker_body(typename Adapter::Queue& q, const BenchParams& p, u64 my_ops,
 
 template <typename Adapter>
 PointResult measure_point(const BenchParams& p, unsigned threads) {
+  // The global hazard domain's (metered) tables are built on first use;
+  // force that outside the measured window so the first hazard-using
+  // series does not absorb a one-time charge into its run-0 samples.
+  (void)HazardDomain::global();
   PointResult result;
   result.threads = threads;
-  std::vector<double> mops_samples, live_samples, peak_samples, rss_samples;
+  std::vector<double> mops_samples, live_samples, peak_samples, rss_samples,
+      alloc_samples;
   mops_samples.reserve(p.runs);
   live_samples.reserve(p.runs);
   peak_samples.reserve(p.runs);
   rss_samples.reserve(p.runs);
+  alloc_samples.reserve(p.runs);
 
   for (unsigned run = 0; run < p.runs; ++run) {
     alloc_meter::reset_peak();
     const std::int64_t live_before = alloc_meter::live_bytes();
+    const std::int64_t allocs_before = alloc_meter::total_allocations();
     typename Adapter::Queue* q = Adapter::create();
 
     std::atomic<unsigned> ready{0};
@@ -297,12 +309,15 @@ PointResult measure_point(const BenchParams& p, unsigned threads) {
     peak_samples.push_back(
         static_cast<double>(alloc_meter::peak_bytes() - live_before));
     rss_samples.push_back(static_cast<double>(current_rss_bytes()));
+    alloc_samples.push_back(
+        static_cast<double>(alloc_meter::total_allocations() - allocs_before));
     Adapter::destroy(q);
   }
   result.mops = summarize(mops_samples);
   result.live_bytes = summarize(live_samples);
   result.peak_bytes = summarize(peak_samples);
   result.rss_bytes = summarize(rss_samples);
+  result.allocs = summarize(alloc_samples);
   return result;
 }
 

@@ -64,6 +64,25 @@ void print_memory_table(const std::vector<Series>& series,
   }
 }
 
+void print_allocation_table(const std::vector<Series>& series,
+                            const std::vector<unsigned>& threads) {
+  std::printf("threads");
+  for (const auto& s : series) std::printf(",%s", s.name.c_str());
+  std::printf("   (allocations per run, count)\n");
+  for (unsigned t : threads) {
+    std::printf("%7u", t);
+    for (const auto& s : series) {
+      const PointResult* pt = find_point(s, t);
+      if (pt != nullptr) {
+        std::printf(",%.0f", pt->allocs.mean);
+      } else {
+        std::printf(",-");
+      }
+    }
+    std::printf("\n");
+  }
+}
+
 void print_cv_note(const std::vector<Series>& series) {
   double worst = 0.0;
   for (const auto& s : series) {
@@ -112,9 +131,10 @@ bool JsonReport::write(const std::string& path) const {
         std::fprintf(f,
                      "        {\"threads\": %u, \"mops_mean\": %.6f, "
                      "\"mops_cv\": %.6f, \"live_bytes_mean\": %.1f, "
-                     "\"peak_bytes_mean\": %.1f, \"rss_bytes_mean\": %.1f}%s\n",
+                     "\"peak_bytes_mean\": %.1f, \"rss_bytes_mean\": %.1f, "
+                     "\"allocs_mean\": %.1f}%s\n",
                      pt.threads, pt.mops.mean, pt.mops.cv, pt.live_bytes.mean,
-                     pt.peak_bytes.mean, pt.rss_bytes.mean,
+                     pt.peak_bytes.mean, pt.rss_bytes.mean, pt.allocs.mean,
                      qi + 1 < s.points.size() ? "," : "");
       }
       std::fprintf(f, "      ]}%s\n",

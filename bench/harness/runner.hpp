@@ -22,6 +22,11 @@ void print_throughput_table(const std::vector<Series>& series,
                             const std::vector<unsigned>& threads);
 void print_memory_table(const std::vector<Series>& series,
                         const std::vector<unsigned>& threads);
+// Metered allocation events per run (count): the churn metric behind the
+// Fig 10 curve. A recycling queue's count stays at its warm-up value while
+// an allocate-per-segment queue's grows with operations.
+void print_allocation_table(const std::vector<Series>& series,
+                            const std::vector<unsigned>& threads);
 void print_cv_note(const std::vector<Series>& series);
 
 // Machine-readable run report: drivers add one panel per table they print

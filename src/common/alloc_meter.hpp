@@ -28,12 +28,23 @@ struct Shard {
 
 Shard* shards();
 
-// Account `bytes` to the calling thread's shard and allocate.
+// Account `bytes` to the calling thread's shard and allocate. The aligned
+// variants (also declared in common/align.hpp for AlignedArray) feed the
+// same counters: ring-entry arrays, per-thread record arrays and payload
+// storage are all AlignedArray-backed, so every byte a queue — or an
+// UnboundedQueue segment — owns is metered, not just its top-level node.
 void* allocate(std::size_t bytes);
 void deallocate(void* p, std::size_t bytes);
+void* allocate_aligned(std::size_t bytes, std::size_t alignment);
+void deallocate_aligned(void* p, std::size_t bytes);
 
 // Aggregate counters (live can transiently undershoot peak accounting; peak
 // is tracked as max-of-live observed at allocation time).
+//
+// total_allocations() counts every metered allocation event (plain and
+// aligned) and never decreases; a steady-state phase is allocation-free
+// exactly when this counter stops moving — the property the segment pool
+// buys for UnboundedQueue and bench_fig10_memory now reports per run.
 std::int64_t live_bytes();
 std::int64_t total_allocations();
 std::int64_t peak_bytes();

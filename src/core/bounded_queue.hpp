@@ -57,10 +57,19 @@ class BoundedQueue {
     }
   }
 
-  ~BoundedQueue() {
-    // Destroy any payloads still in flight.
-    while (auto idx = aq_.dequeue()) {
-      slot(*idx)->~T();
+  ~BoundedQueue() { destroy_stragglers(); }
+
+  // Re-initialize to the freshly-constructed state: destroy any payloads
+  // still in flight, rewind both rings, and refill fq with 0..n-1. Same
+  // exclusivity precondition as the rings' reset() — this is the bounded
+  // layer of the segment-recycling path (DESIGN.md §8), where the hazard
+  // grace period guarantees no thread can still touch this queue.
+  void reset() {
+    destroy_stragglers();
+    aq_.reset();
+    fq_.reset();
+    for (u64 i = 0; i < fq_.capacity(); ++i) {
+      fq_.enqueue(i);
     }
   }
 
@@ -179,6 +188,14 @@ class BoundedQueue {
   // Bulk spans are staged through a fixed stack buffer of indices so the
   // batch paths never allocate; larger caller spans just loop chunks.
   static constexpr std::size_t kBulkChunk = 64;
+
+  // Destroy any payloads still in flight. Single-threaded drain: successful
+  // dequeues never burn threshold, so this loop empties the queue exactly.
+  void destroy_stragglers() {
+    while (auto idx = aq_.dequeue()) {
+      slot(*idx)->~T();
+    }
+  }
 
   struct alignas(alignof(T)) Storage {
     unsigned char bytes[sizeof(T)];

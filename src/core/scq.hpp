@@ -74,6 +74,22 @@ class SCQ {
     }
   }
 
+  // Re-initialize the ring to its freshly-constructed (empty) state so it can
+  // be reused, e.g. by a recycled UnboundedQueue segment (DESIGN.md §8).
+  //
+  // Precondition: the caller has exclusive access — no concurrent operation
+  // is in flight and none can start until the reset is published (the segment
+  // pool provides this via hazard-pointer grace + release/acquire hand-off).
+  // All stores are relaxed; the publishing edge belongs to the caller.
+  void reset() {
+    for (u64 i = 0; i < codec_.ring_size(); ++i) {
+      entries_[i].store(codec_.initial(), std::memory_order_relaxed);
+    }
+    tail_.value.store(codec_.ring_size(), std::memory_order_relaxed);
+    head_.value.store(codec_.ring_size(), std::memory_order_relaxed);
+    threshold_.value.store(-1, std::memory_order_relaxed);  // empty
+  }
+
   // --- introspection hooks (tests / benches) -------------------------------
   i64 threshold() const {
     return threshold_.value.load(std::memory_order_acquire);

@@ -18,9 +18,19 @@
 //    (which lives inside the ring's F&A word): a segment is unlinked only
 //    when it is finalized, drained, and free of in-flight enqueuers, which
 //    makes "help finalize, then append" (Fig 13 lines 21-22) unnecessary.
+//
+// Segment recycling (DESIGN.md §8): with Options::recycle (the default), a
+// retired segment is reset and parked in a SegmentPool once its hazard
+// grace period has passed, and the growth path allocates from the pool
+// first — steady-state operation performs zero heap allocations. The queue
+// owns a *private* HazardDomain so (a) its contextful retirements (which
+// reference the queue's pool) can never outlive the queue, and (b) its
+// retire-scan threshold can be small: recycled segments reach the pool
+// promptly instead of idling in retire lists while fresh ones are malloc'd.
 #pragma once
 
 #include <atomic>
+#include <cassert>
 #include <new>
 #include <optional>
 #include <utility>
@@ -30,37 +40,59 @@
 #include "common/backoff.hpp"
 #include "core/bounded_queue.hpp"
 #include "reclaim/hazard_pointers.hpp"
+#include "reclaim/segment_pool.hpp"
 
 namespace wcq {
 
 template <typename T, typename Ring = WCQ>
 class UnboundedQueue {
  public:
-  // Each segment holds 2^segment_order elements (default: 1024).
-  explicit UnboundedQueue(unsigned segment_order = 10)
-      : segment_order_(segment_order) {
-    Segment* first = Segment::create(segment_order_);
+  struct Options {
+    // Each segment holds 2^segment_order elements (default: 1024).
+    unsigned segment_order = 10;
+    // Recycle retired segments through the pool (false = malloc/free every
+    // segment, the pre-recycling behavior; kept as an A/B toggle for
+    // bench_fig10_memory).
+    bool recycle = true;
+    // Hard ceiling on parked segments; the effective cap also scales with
+    // registered threads (SegmentPool::cap).
+    std::size_t pool_slots = 64;
+  };
+
+  explicit UnboundedQueue(Options opt)
+      : opt_(opt),
+        pool_(opt.pool_slots),
+        hp_(kRetireScanThreshold) {
+    Segment* first = Segment::create(opt_.segment_order);
     head_.value.store(first, std::memory_order_relaxed);
     tail_.value.store(first, std::memory_order_relaxed);
   }
 
+  explicit UnboundedQueue(unsigned segment_order = 10)
+      : UnboundedQueue(Options{.segment_order = segment_order}) {}
+
   ~UnboundedQueue() {
+    // Quiescent by contract. Flush pending retirements first (they recycle
+    // into — or bypass — the pool via recycle_cb, which must still find the
+    // queue alive), then free the linked list, then the parked segments.
+    hp_.drain();
     Segment* s = head_.value.load(std::memory_order_relaxed);
     while (s != nullptr) {
       Segment* next = s->next.load(std::memory_order_relaxed);
       Segment::destroy(s);
       s = next;
     }
+    pool_.drain([](Segment* seg) { Segment::destroy(seg); });
   }
 
   UnboundedQueue(const UnboundedQueue&) = delete;
   UnboundedQueue& operator=(const UnboundedQueue&) = delete;
 
-  // Never fails (allocates a new ring when the last one fills/finalizes).
+  // Never fails (appends a ring when the last one fills/finalizes; the ring
+  // comes from the segment pool when one is parked there).
   bool enqueue(T value) {
-    HazardDomain& hp = HazardDomain::global();
     for (;;) {
-      Segment* ltail = hp.protect(0, tail_.value);
+      Segment* ltail = hp_.protect(0, tail_.value);
       Segment* next = ltail->next.load(std::memory_order_acquire);
       if (next != nullptr) {
         // Outer tail lags; help swing it (Fig 13 lines 24-27).
@@ -69,37 +101,36 @@ class UnboundedQueue {
         continue;
       }
       if (ltail->enqueue(value)) {
-        hp.clear(0);
+        hp_.clear(0);
         return true;
       }
       // Ring full: it is now finalized; append a fresh ring seeded with the
       // value (Fig 13 lines 7-8, 21-23).
-      Segment* fresh = Segment::create(segment_order_);
+      Segment* fresh = acquire_segment();
       (void)fresh->enqueue(value);  // empty open ring: cannot fail
       Segment* expected = nullptr;
       if (ltail->next.compare_exchange_strong(expected, fresh,
                                               std::memory_order_seq_cst)) {
         tail_.value.compare_exchange_strong(ltail, fresh,
                                             std::memory_order_seq_cst);
-        hp.clear(0);
+        hp_.clear(0);
         return true;
       }
-      Segment::destroy(fresh);  // somebody appended first; retry there
+      release_segment(fresh);  // somebody appended first; retry there
     }
   }
 
   std::optional<T> dequeue() {
-    HazardDomain& hp = HazardDomain::global();
     Backoff bo;
     for (;;) {
-      Segment* lhead = hp.protect(0, head_.value);
+      Segment* lhead = hp_.protect(0, head_.value);
       if (auto v = lhead->dequeue()) {
-        hp.clear(0);
+        hp_.clear(0);
         return v;
       }
       Segment* next = lhead->next.load(std::memory_order_acquire);
       if (next == nullptr) {
-        hp.clear(0);
+        hp_.clear(0);
         return std::nullopt;  // no successor: the queue is empty
       }
       // A successor exists, so lhead is finalized. It may only be unlinked
@@ -112,28 +143,67 @@ class UnboundedQueue {
         continue;
       }
       if (auto v = lhead->dequeue()) {  // drained-check must re-validate
-        hp.clear(0);
+        hp_.clear(0);
         return v;
       }
       Segment* expected = lhead;
       if (head_.value.compare_exchange_strong(expected, next,
                                               std::memory_order_seq_cst)) {
-        hp.clear(0);
-        hp.retire(lhead,
-                  [](void* p) { Segment::destroy(static_cast<Segment*>(p)); });
+        hp_.clear(0);
+        hp_.retire(lhead, &UnboundedQueue::recycle_cb, this);
       }
     }
   }
 
-  // Test hook: number of linked segments.
+  // Diagnostic: number of linked segments, safe to call concurrently with
+  // enqueue/dequeue on other threads.
+  //
+  // The walk is hazard-protected hand-over-hand (slots 1-3; operations use
+  // slot 0). The liveness argument leans on the list's shape: segments are
+  // unlinked *only at the head*, so every node reachable from the current
+  // head is linked. The walker pins the head it started from in slot 1 for
+  // the whole walk; after publishing a hazard on each `next` it re-reads
+  // head_ — if head_ still equals the pinned start, no unlink (and hence no
+  // retirement) has happened since the walk began, so `next` is linked and
+  // now protected. If head_ moved, `next` may already be retired-and-freed
+  // (our hazard was published too late to be seen by that scan), so the
+  // walk restarts. head_ cannot ABA back to the pinned segment: re-linking
+  // requires recycling, which the slot-1 hazard blocks (DESIGN.md §8).
   u64 live_segments() const {
-    u64 n = 0;
-    for (Segment* s = head_.value.load(std::memory_order_acquire);
-         s != nullptr; s = s->next.load(std::memory_order_acquire)) {
-      ++n;
+    Backoff bo;
+    for (;;) {
+      Segment* h0 = hp_.protect(1, head_.value);
+      Segment* s = h0;
+      u64 n = 1;
+      unsigned slot = 2;
+      bool restart = false;
+      for (;;) {
+        Segment* next = s->next.load(std::memory_order_acquire);
+        if (next == nullptr) break;
+        hp_.set(slot, next);
+        if (head_.value.load(std::memory_order_seq_cst) != h0) {
+          restart = true;
+          break;
+        }
+        s = next;
+        ++n;
+        slot = slot == 2 ? 3 : 2;  // keep the previous hop protected
+      }
+      hp_.clear(1);
+      hp_.clear(2);
+      hp_.clear(3);
+      if (!restart) return n;
+      bo.pause();
     }
-    return n;
   }
+
+  // Test hooks.
+  std::size_t pooled_segments() const { return pool_.size(); }
+  const Options& options() const { return opt_; }
+  // Flush this queue's pending retirements (quiescent-only): retired
+  // segments move to the pool (or are freed past its cap) immediately
+  // instead of at the next scan.
+  void reclaim_flush() { hp_.drain(); }
 
  private:
   // One ring segment: a Fig 2 bounded queue plus finalization state.
@@ -147,6 +217,17 @@ class UnboundedQueue {
     static void destroy(Segment* s) {
       s->~Segment();
       alloc_meter::deallocate(s, sizeof(Segment));
+    }
+
+    // Reopen a finalized, drained, quiescent segment (exclusive access; the
+    // recycler holds the only reference). Ring/bounded resets rewind the
+    // Fig 2 state; clearing `next` detaches it from the dead list tail.
+    void reset() {
+      assert(in_flight.load(std::memory_order_relaxed) == 0 &&
+             "reset of a segment with in-flight enqueuers");
+      queue.reset();
+      finalized.store(false, std::memory_order_relaxed);
+      next.store(nullptr, std::memory_order_relaxed);
     }
 
     // False once the segment is full: the segment finalizes and no enqueue
@@ -179,7 +260,51 @@ class UnboundedQueue {
     alignas(kCacheLine) std::atomic<Segment*> next{nullptr};
   };
 
-  unsigned segment_order_;
+  // Growth path: reuse a parked segment when one is available. A pooled
+  // segment was reset by its recycler; the pool's release/acquire hand-off
+  // publishes those writes to us, and the list-append CAS publishes them to
+  // everyone else (DESIGN.md §8).
+  Segment* acquire_segment() {
+    if (opt_.recycle) {
+      if (Segment* s = pool_.try_get()) return s;
+    }
+    return Segment::create(opt_.segment_order);
+  }
+
+  // Give back a segment this thread exclusively owns (never published, or
+  // publication lost its race). It may hold the one seeded element; reset
+  // destroys it along with any other straggler.
+  void release_segment(Segment* s) {
+    if (opt_.recycle) {
+      s->reset();
+      if (pool_.try_put(s)) return;
+    }
+    Segment::destroy(s);
+  }
+
+  // Hazard-domain deleter: runs once no thread can hold a reference to the
+  // segment (the grace period), i.e. with exclusive access — the window in
+  // which reset() is legal. Same recycle-or-free policy as the lost-race
+  // path; past the pool cap the segment is truly freed, preserving the
+  // memory bound.
+  static void recycle_cb(void* p, void* ctx) {
+    static_cast<UnboundedQueue*>(ctx)->release_segment(
+        static_cast<Segment*>(p));
+  }
+
+  // Retire-list length that triggers a scan in the private domain. Small on
+  // purpose: segments must reach the pool promptly or the growth path
+  // allocates fresh ones while recyclable segments idle in retire lists
+  // (which would re-introduce steady-state allocation). Retirement happens
+  // once per 2^segment_order operations, so eager scans are negligible.
+  static constexpr std::size_t kRetireScanThreshold = 2;
+
+  Options opt_;
+  // Declaration order is load-bearing for destruction: hp_ is declared after
+  // pool_ so that any late recycle_cb run by a member destructor would still
+  // find the pool alive (the destructor body drains both explicitly anyway).
+  SegmentPool<Segment> pool_;
+  mutable HazardDomain hp_;
   alignas(kDestructiveRange) CacheAligned<std::atomic<Segment*>> head_;
   alignas(kDestructiveRange) CacheAligned<std::atomic<Segment*>> tail_;
 };

@@ -242,6 +242,48 @@ class BasicWCQ {
     return got;
   }
 
+  // Re-initialize the ring to its freshly-constructed (empty) state so a
+  // drained, finalized segment can be reopened (DESIGN.md §8).
+  //
+  // Precondition: exclusive access. No operation is in flight, no helper can
+  // be inside the queue (every path into the ring goes through an operation),
+  // and no thread may start an operation until the reset is published. The
+  // segment pool provides this window: a segment is reset only after its
+  // hazard-pointer grace period has passed, and the reset values reach the
+  // next user through the pool's release/acquire hand-off. Under that
+  // precondition the per-thread records can be rewound too — rolling seq1
+  // back to 1 is safe precisely because no helper holds a generation to
+  // confuse (the reuse-ABA argument, DESIGN.md §8).
+  void reset() {
+    for (u64 i = 0; i < codec_.ring_size(); ++i) {
+      entries_[i].lo.store(codec_.initial(), std::memory_order_relaxed);
+      entries_[i].hi.store(0, std::memory_order_relaxed);  // Note: "never"
+    }
+    tail_.lo.store(codec_.ring_size(), std::memory_order_relaxed);
+    tail_.hi.store(0, std::memory_order_relaxed);
+    head_.lo.store(codec_.ring_size(), std::memory_order_relaxed);
+    head_.hi.store(0, std::memory_order_relaxed);
+    threshold_.value.store(-1, std::memory_order_relaxed);
+    for (u64 i = 0; i < records_.size(); ++i) {
+      ThreadRec& r = records_[i];
+      r.next_check = 1;
+      r.next_tid = 0;
+      r.phase2.seq1.store(1, std::memory_order_relaxed);
+      r.phase2.local.store(0, std::memory_order_relaxed);
+      r.phase2.cnt.store(0, std::memory_order_relaxed);
+      r.phase2.seq2.store(0, std::memory_order_relaxed);
+      r.seq1.store(1, std::memory_order_relaxed);
+      r.is_enqueue.store(false, std::memory_order_relaxed);
+      r.pending.store(false, std::memory_order_relaxed);
+      r.local_tail.store(0, std::memory_order_relaxed);
+      r.init_tail.store(0, std::memory_order_relaxed);
+      r.local_head.store(0, std::memory_order_relaxed);
+      r.init_head.store(0, std::memory_order_relaxed);
+      r.index.store(0, std::memory_order_relaxed);
+      r.seq2.store(0, std::memory_order_relaxed);
+    }
+  }
+
   // --- introspection hooks (tests / benches) -------------------------------
   i64 threshold() const {
     return threshold_.value.load(std::memory_order_acquire);

@@ -18,23 +18,43 @@ struct HazardDomain::Impl {
 
   struct Retired {
     void* p;
-    void (*deleter)(void*);
+    void (*deleter)(void*);         // exactly one of deleter/deleter2 is set
+    void (*deleter2)(void*, void*);
+    void* ctx;
+
+    void run() const {
+      if (deleter2 != nullptr) {
+        deleter2(p, ctx);
+      } else {
+        deleter(p);
+      }
+    }
   };
 
   struct alignas(kCacheLine) RetireRow {
     // Only the owning tid mutates its row; scans read rows of live tids.
-    std::vector<Retired> list;
+    // Vectors are metered (retired-node bookkeeping is queue-owned memory)
+    // and keep their capacity across scans, so once the per-row buffers have
+    // grown to the scan threshold the reclamation path stops allocating —
+    // a precondition for the segment pool's allocation-free steady state.
+    std::vector<Retired, alloc_meter::MeteredAllocator<Retired>> list;
+    std::vector<Retired, alloc_meter::MeteredAllocator<Retired>> keep_scratch;
+    std::vector<void*, alloc_meter::MeteredAllocator<void*>> hazard_scratch;
   };
+
+  explicit Impl(std::size_t threshold) : retire_threshold(threshold) {}
 
   SlotRow rows[kMaxThreads] = {};
   RetireRow retired[kMaxThreads] = {};
   std::atomic<std::size_t> retired_total{0};
+  std::size_t retire_threshold;  // 0 = adaptive (see header)
 };
 
-HazardDomain::HazardDomain() : impl_(new Impl) {}
+HazardDomain::HazardDomain(std::size_t retire_threshold)
+    : impl_(alloc_meter::create<Impl>(retire_threshold)) {}
 HazardDomain::~HazardDomain() {
   drain();
-  delete impl_;
+  alloc_meter::destroy(impl_);
 }
 
 HazardDomain& HazardDomain::global() {
@@ -70,20 +90,34 @@ void HazardDomain::clear_all() {
 }
 
 void HazardDomain::retire(void* p, void (*deleter)(void*)) {
+  retire_common(p, deleter, nullptr, nullptr);
+}
+
+void HazardDomain::retire(void* p, void (*deleter)(void*, void*), void* ctx) {
+  retire_common(p, nullptr, deleter, ctx);
+}
+
+void HazardDomain::retire_common(void* p, void (*deleter)(void*),
+                                 void (*deleter2)(void*, void*), void* ctx) {
   const unsigned tid = ThreadRegistry::tid();
   auto& list = impl_->retired[tid].list;
-  list.push_back(Impl::Retired{p, deleter});
+  list.push_back(Impl::Retired{p, deleter, deleter2, ctx});
   impl_->retired_total.fetch_add(1, std::memory_order_relaxed);
-  // Scan threshold: 2x the maximum number of simultaneously-protected
-  // pointers, the usual amortization that bounds retired garbage.
+  // Scan threshold: either the domain's fixed setting or 2x the maximum
+  // number of simultaneously-protected pointers, the usual amortization
+  // that bounds retired garbage.
   const std::size_t threshold =
-      2 * kSlotsPerThread * (ThreadRegistry::high_water() + 1);
+      impl_->retire_threshold != 0
+          ? impl_->retire_threshold
+          : 2 * kSlotsPerThread * (ThreadRegistry::high_water() + 1);
   if (list.size() >= threshold) scan(tid);
 }
 
 void HazardDomain::scan(unsigned tid) {
-  // Snapshot all published hazards.
-  std::vector<void*> hazards;
+  // Snapshot all published hazards into the row's retained scratch buffer.
+  auto& row = impl_->retired[tid];
+  auto& hazards = row.hazard_scratch;
+  hazards.clear();
   const unsigned hw = ThreadRegistry::high_water();
   hazards.reserve(static_cast<std::size_t>(hw) * kSlotsPerThread);
   for (unsigned t = 0; t < hw; ++t) {
@@ -94,15 +128,16 @@ void HazardDomain::scan(unsigned tid) {
   }
   std::sort(hazards.begin(), hazards.end());
 
-  auto& list = impl_->retired[tid].list;
-  std::vector<Impl::Retired> keep;
+  auto& list = row.list;
+  auto& keep = row.keep_scratch;
+  keep.clear();
   keep.reserve(list.size());
   for (const auto& r : list) {
     if (std::binary_search(hazards.begin(), hazards.end(), r.p)) {
       keep.push_back(r);
     } else {
       impl_->retired_total.fetch_sub(1, std::memory_order_relaxed);
-      r.deleter(r.p);
+      r.run();
     }
   }
   list.swap(keep);
@@ -113,7 +148,7 @@ void HazardDomain::drain() {
     auto& list = impl_->retired[t].list;
     for (const auto& r : list) {
       impl_->retired_total.fetch_sub(1, std::memory_order_relaxed);
-      r.deleter(r.p);
+      r.run();
     }
     list.clear();
   }

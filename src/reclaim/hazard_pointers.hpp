@@ -24,7 +24,17 @@ class HazardDomain {
  public:
   static constexpr unsigned kSlotsPerThread = 4;
 
-  HazardDomain();
+  // `retire_threshold`: per-thread retire-list length that triggers a scan.
+  // 0 (default) selects the classic adaptive bound, 2 * kSlotsPerThread *
+  // (registered threads + 1), which amortizes scan cost but lets up to that
+  // many retired nodes sit unreclaimed per thread. Owners whose nodes are
+  // *recycled* rather than freed (UnboundedQueue's segment pool) pass a
+  // small fixed threshold instead: nodes then reach the pool promptly
+  // instead of idling in retire lists while the queue allocates fresh ones,
+  // which is what makes the steady state allocation-free (DESIGN.md §8).
+  // Scans are O(threads) and segment retirement is once per 2^order
+  // operations, so eager scanning costs nothing measurable there.
+  explicit HazardDomain(std::size_t retire_threshold = 0);
   ~HazardDomain();
   HazardDomain(const HazardDomain&) = delete;
   HazardDomain& operator=(const HazardDomain&) = delete;
@@ -52,6 +62,13 @@ class HazardDomain {
   // Hand `p` to the domain; `deleter(p)` runs once no thread protects it.
   void retire(void* p, void (*deleter)(void*));
 
+  // Contextful variant: `deleter(p, ctx)` runs after the grace period. The
+  // segment-recycling path uses this to route retired segments back into
+  // their owning queue's pool instead of freeing them; `ctx` must outlive
+  // every pending retirement that references it (a queue guarantees that by
+  // owning a private domain and draining it in its destructor).
+  void retire(void* p, void (*deleter)(void*, void*), void* ctx);
+
   // Drain every retire list that can be drained (called by queue dtors;
   // correct only when no other thread is inside the data structure).
   void drain();
@@ -62,6 +79,8 @@ class HazardDomain {
  private:
   void* protect_raw(unsigned slot, const std::atomic<void*>& src);
   void set_raw(unsigned slot, void* p);
+  void retire_common(void* p, void (*deleter)(void*),
+                     void (*deleter2)(void*, void*), void* ctx);
   void scan(unsigned tid);
 
   struct Impl;

@@ -53,7 +53,7 @@ TYPED_TEST(UnboundedQueueTest, SegmentsAreReclaimed) {
     for (u64 i = 0; i < 32; ++i) ASSERT_TRUE(q.enqueue(i));
     for (u64 i = 0; i < 32; ++i) ASSERT_TRUE(q.dequeue().has_value());
   }
-  HazardDomain::global().drain();  // quiescent: flush retired segments
+  q.reclaim_flush();  // quiescent: flush retired segments
   EXPECT_LT(q.live_segments(), 10u) << "drained segments not unlinked";
 }
 
