@@ -1,0 +1,74 @@
+// Index-magazine A/B sweep (src/scale/index_magazine.hpp, DESIGN.md §9):
+// what per-thread free-index caching buys the Fig 2 double-ring hot path.
+//
+//   M1  p5050 workload — every op is Enqueue or Dequeue with p=1/2; the
+//       magazine occupancy random-walks, so refills/spills actually happen.
+//   M2  pairs workload — Enqueue immediately followed by Dequeue; the
+//       steady-state best case (the freed index is re-claimed by the same
+//       thread, fq traffic amortizes to ~zero).
+//
+// Each panel compares "Bounded" (magazines on) against "Bounded-nomag" (the
+// plain double ring) and prints two tables: throughput and *shared-ring
+// F&As per logical operation*. The second is the honest metric on small
+// hosts — the magazines exist to remove coherence traffic, and the counter
+// measures exactly that, independent of scheduler noise. CI asserts the
+// reduction from the JSON report via bench/check_ringops.py.
+//
+// Flags as the other drivers; WCQ_BENCH_BOUNDED_ORDER / WCQ_BENCH_MAGAZINE
+// set the queue capacity and magazine size.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/adapters.hpp"
+#include "harness/runner.hpp"
+
+namespace wcq::bench {
+namespace {
+
+template <typename Adapter>
+Series run_named(const BenchParams& p, std::string name) {
+  Series s;
+  s.name = std::move(name);
+  for (unsigned t : p.thread_counts) {
+    std::fprintf(stderr, "  [%s] %u thread(s)...\n", s.name.c_str(), t);
+    s.points.push_back(measure_point<Adapter>(p, t));
+  }
+  return s;
+}
+
+void run_panel(const BenchParams& p, Workload w, const char* figure,
+               const char* caption, JsonReport& report) {
+  BenchParams q = p;
+  q.workload = w;
+  print_preamble(figure, caption, q);
+  std::printf("# order=%u magazine=%zu\n", bounded_order(),
+              bounded_magazine_capacity());
+  std::vector<Series> series;
+  series.push_back(run_named<BoundedAdapter>(q, BoundedAdapter::kName));
+  series.push_back(
+      run_named<BoundedNoMagAdapter>(q, BoundedNoMagAdapter::kName));
+  print_throughput_table(series, q.thread_counts);
+  print_ringops_table(series, q.thread_counts);
+  print_cv_note(series);
+  report.add_panel(caption, q, series);
+  std::printf("\n");
+}
+
+void run_magazine(const BenchParams& p) {
+  JsonReport report;
+  run_panel(p, Workload::kP5050, "Magazine M1",
+            "magazine A/B, p5050 workload", report);
+  run_panel(p, Workload::kPairs, "Magazine M2",
+            "magazine A/B, pairs workload", report);
+  if (!p.json_path.empty()) report.write(p.json_path);
+}
+
+}  // namespace
+}  // namespace wcq::bench
+
+int main(int argc, char** argv) {
+  wcq::bench::BenchParams p = wcq::bench::BenchParams::parse(argc, argv);
+  wcq::bench::run_magazine(p);
+  return 0;
+}

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Assert the index-magazine shared-ring-op reduction from a bench report.
+
+Reads the JSON written by bench_magazine (--json=...) and requires that, on
+the p5050 panel, the magazine-enabled "Bounded" series issues at least
+--min-reduction fewer shared Head/Tail F&As per logical operation than the
+"Bounded-nomag" baseline, at every measured thread count. The metric is a
+counter, not wall-clock, so this check is deterministic enough to gate CI on
+a noisy 1-core host (DESIGN.md §9).
+
+Usage: check_ringops.py REPORT.json [--min-reduction 0.40] [--workload p5050]
+Exit status: 0 on pass, 1 on a missed target or malformed report.
+"""
+
+import argparse
+import json
+import sys
+
+MAG_SERIES = "Bounded"
+BASE_SERIES = "Bounded-nomag"
+
+
+def series_points(panel, name):
+    for series in panel.get("series", []):
+        if series.get("name") == name:
+            return {p["threads"]: p for p in series.get("points", [])}
+    return None
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("report", help="JSON written by bench_magazine --json=...")
+    ap.add_argument("--min-reduction", type=float, default=0.40,
+                    help="required fractional drop in ring F&As per op "
+                         "(default: 0.40, the PR 4 acceptance bar)")
+    ap.add_argument("--workload", default="p5050",
+                    help="panel workload to check (default: p5050)")
+    args = ap.parse_args()
+
+    with open(args.report) as f:
+        report = json.load(f)
+
+    panels = [p for p in report.get("panels", [])
+              if p.get("workload") == args.workload]
+    if not panels:
+        print(f"check_ringops: no '{args.workload}' panel in {args.report}")
+        return 1
+
+    failures = 0
+    checked = 0
+    for panel in panels:
+        mag = series_points(panel, MAG_SERIES)
+        base = series_points(panel, BASE_SERIES)
+        if mag is None or base is None:
+            print(f"check_ringops: panel '{panel.get('caption')}' lacks "
+                  f"'{MAG_SERIES}'/'{BASE_SERIES}' series")
+            return 1
+        for threads in sorted(base):
+            if threads not in mag:
+                continue
+            base_faa = base[threads]["ring_faa_per_op_mean"]
+            mag_faa = mag[threads]["ring_faa_per_op_mean"]
+            if base_faa <= 0:
+                print(f"check_ringops: baseline ring_faa is {base_faa} at "
+                      f"{threads} thread(s) — counters broken?")
+                return 1
+            reduction = 1.0 - mag_faa / base_faa
+            checked += 1
+            verdict = "ok" if reduction >= args.min_reduction else "FAIL"
+            print(f"check_ringops: [{panel.get('caption')}] threads={threads} "
+                  f"faa/op {base_faa:.3f} -> {mag_faa:.3f} "
+                  f"(-{reduction * 100.0:.1f}%, need "
+                  f"{args.min_reduction * 100.0:.0f}%) {verdict}")
+            if reduction < args.min_reduction:
+                failures += 1
+
+    if checked == 0:
+        print("check_ringops: no comparable points found")
+        return 1
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

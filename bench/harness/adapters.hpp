@@ -15,10 +15,12 @@
 #include "baselines/ms_queue.hpp"
 #include "baselines/ymc_queue.hpp"
 #include "common/env.hpp"
+#include "core/bounded_queue.hpp"
 #include "core/scq.hpp"
 #include "core/unbounded_queue.hpp"
 #include "core/wcq.hpp"
 #include "core/wcq_llsc.hpp"
+#include "scale/index_magazine.hpp"
 #include "scale/sharded_queue.hpp"
 
 namespace wcq::bench {
@@ -189,6 +191,54 @@ struct UnboundedQueueAdapter {
 
 inline constexpr char kUnboundedName[] = "UwCQ";
 inline constexpr char kUnboundedNoPoolName[] = "UwCQ-nopool";
+
+// Fig 2 bounded value queue, as an A/B pair over the per-thread index
+// magazines (DESIGN.md §9): "Bounded" claims/recycles free indices through
+// its magazine, "Bounded-nomag" is the plain double-ring behavior. The
+// shared-ring F&A counters (ring_faa in the report) are the comparison
+// metric — the magazine's amortization claim is about coherence traffic,
+// not wall-clock, so it holds on 1-core CI hosts too.
+// WCQ_BENCH_BOUNDED_ORDER (default 12) sets capacity; WCQ_BENCH_MAGAZINE
+// (default 16) the per-thread magazine slots.
+inline unsigned bounded_order() {
+  return static_cast<unsigned>(env_u64("WCQ_BENCH_BOUNDED_ORDER", 12));
+}
+
+inline std::size_t bounded_magazine_capacity() {
+  return static_cast<std::size_t>(env_u64("WCQ_BENCH_MAGAZINE", 16));
+}
+
+template <bool Mag, const char* Name>
+struct BoundedQueueAdapter {
+  static constexpr const char* kName = Name;
+  using Queue = BoundedQueue<u64, WCQ>;
+  static Queue* create() {
+    typename Queue::Options o{bounded_order()};
+    o.magazine.enabled = Mag;
+    o.magazine.capacity = bounded_magazine_capacity();
+    return new Queue(o);
+  }
+  static void destroy(Queue* q) { delete q; }
+  static bool enqueue(Queue& q, u64 v) { return q.enqueue(v); }
+  static bool dequeue(Queue& q, u64& out) {
+    auto v = q.dequeue();
+    if (!v) return false;
+    out = *v;
+    return true;
+  }
+  static std::size_t enqueue_bulk(Queue& q, const u64* v, std::size_t n) {
+    return q.enqueue_bulk(v, n);
+  }
+  static std::size_t dequeue_bulk(Queue& q, u64* out, std::size_t n) {
+    return q.dequeue_bulk(out, n);
+  }
+};
+
+inline constexpr char kBoundedName[] = "Bounded";
+inline constexpr char kBoundedNoMagName[] = "Bounded-nomag";
+
+using BoundedAdapter = BoundedQueueAdapter<true, kBoundedName>;
+using BoundedNoMagAdapter = BoundedQueueAdapter<false, kBoundedNoMagName>;
 
 // Sharded front-end (src/scale/): a value queue (no index masking), shard
 // count from g_sharded_shards / WCQ_BENCH_SHARDS, per-shard capacity

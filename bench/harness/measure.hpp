@@ -32,6 +32,7 @@
 
 #include "common/alloc_meter.hpp"
 #include "common/cpu.hpp"
+#include "common/op_counters.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "harness/workloads.hpp"
@@ -51,6 +52,10 @@ struct PointResult {
                        // includes queue construction — a recycling queue's
                        // count converges to its warm-up allocations while a
                        // churning one keeps growing with ops)
+  Summary ring_faa;    // shared Head/Tail F&As per executed logical op
+                       // (opcount; the magazine amortization metric —
+                       // wall-clock-independent, so meaningful on 1-core CI)
+  Summary ring_thld;   // shared Threshold RMWs/stores per executed op
 };
 
 namespace detail {
@@ -262,12 +267,14 @@ PointResult measure_point(const BenchParams& p, unsigned threads) {
   PointResult result;
   result.threads = threads;
   std::vector<double> mops_samples, live_samples, peak_samples, rss_samples,
-      alloc_samples;
+      alloc_samples, faa_samples, thld_samples;
   mops_samples.reserve(p.runs);
   live_samples.reserve(p.runs);
   peak_samples.reserve(p.runs);
   rss_samples.reserve(p.runs);
   alloc_samples.reserve(p.runs);
+  faa_samples.reserve(p.runs);
+  thld_samples.reserve(p.runs);
 
   for (unsigned run = 0; run < p.runs; ++run) {
     alloc_meter::reset_peak();
@@ -282,6 +289,7 @@ PointResult measure_point(const BenchParams& p, unsigned threads) {
     const u64 per_thread = p.ops / threads;
     const u64 remainder = p.ops % threads;
     std::vector<u64> executed(threads, 0);
+    std::vector<u64> faa_delta(threads, 0), thld_delta(threads, 0);
     std::vector<std::thread> ts;
     ts.reserve(threads);
     for (unsigned t = 0; t < threads; ++t) {
@@ -290,7 +298,11 @@ PointResult measure_point(const BenchParams& p, unsigned threads) {
         const u64 my_ops = per_thread + (t < remainder ? 1 : 0);
         ready.fetch_add(1, std::memory_order_acq_rel);
         while (!go.load(std::memory_order_acquire)) cpu_relax();
+        const opcount::Counters before = opcount::snapshot();
         executed[t] = detail::worker_body<Adapter>(*q, p, my_ops, t, run);
+        const opcount::Counters after = opcount::snapshot();
+        faa_delta[t] = after.faa - before.faa;
+        thld_delta[t] = after.threshold - before.threshold;
       });
     }
     while (ready.load(std::memory_order_acquire) < threads) cpu_relax();
@@ -303,6 +315,13 @@ PointResult measure_point(const BenchParams& p, unsigned threads) {
     u64 total_ops = 0;
     for (const u64 e : executed) total_ops += e;
     mops_samples.push_back(static_cast<double>(total_ops) / secs / 1e6);
+
+    u64 total_faa = 0, total_thld = 0;
+    for (const u64 f : faa_delta) total_faa += f;
+    for (const u64 d : thld_delta) total_thld += d;
+    const double ops_norm = total_ops > 0 ? static_cast<double>(total_ops) : 1.0;
+    faa_samples.push_back(static_cast<double>(total_faa) / ops_norm);
+    thld_samples.push_back(static_cast<double>(total_thld) / ops_norm);
 
     live_samples.push_back(
         static_cast<double>(alloc_meter::live_bytes() - live_before));
@@ -318,6 +337,8 @@ PointResult measure_point(const BenchParams& p, unsigned threads) {
   result.peak_bytes = summarize(peak_samples);
   result.rss_bytes = summarize(rss_samples);
   result.allocs = summarize(alloc_samples);
+  result.ring_faa = summarize(faa_samples);
+  result.ring_thld = summarize(thld_samples);
   return result;
 }
 

@@ -27,6 +27,11 @@ void print_memory_table(const std::vector<Series>& series,
 // an allocate-per-segment queue's grows with operations.
 void print_allocation_table(const std::vector<Series>& series,
                             const std::vector<unsigned>& threads);
+// Shared Head/Tail F&As per executed logical operation: the magazine
+// amortization metric (DESIGN.md §9), wall-clock-independent so it stays
+// meaningful on the 1-core CI host.
+void print_ringops_table(const std::vector<Series>& series,
+                         const std::vector<unsigned>& threads);
 void print_cv_note(const std::vector<Series>& series);
 
 // Machine-readable run report: drivers add one panel per table they print

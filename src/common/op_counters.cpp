@@ -1,0 +1,7 @@
+#include "common/op_counters.hpp"
+
+namespace wcq::opcount {
+
+constinit thread_local Counters tl_counters{};
+
+}  // namespace wcq::opcount

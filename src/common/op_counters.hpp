@@ -1,0 +1,36 @@
+// Thread-local shared-ring operation counters (DESIGN.md §9).
+//
+// The Fig 2 indirection layer pays two shared-ring operations per logical
+// queue operation (one on fq, one on aq), each of which issues seq_cst RMWs
+// on contended counter lines. The index-magazine subsystem exists to
+// amortize the fq half away; these counters make that claim *measurable* on
+// hosts where wall-clock throughput is noise (the 1-core CI runner).
+//
+// Two counters, incremented at the RMW sites inside the rings:
+//   faa       — F&A (or the slow path's published-increment CAS2) on a
+//               shared Head/Tail counter line
+//   threshold — RMW/store traffic on a shared Threshold line
+//
+// The counters are plain thread-local increments (one add on a core-private
+// line, no atomics), cheap enough to keep unconditionally enabled; the bench
+// harness snapshots them per worker and reports per-operation means.
+#pragma once
+
+#include <cstdint>
+
+namespace wcq::opcount {
+
+struct Counters {
+  std::uint64_t faa = 0;
+  std::uint64_t threshold = 0;
+};
+
+extern thread_local Counters tl_counters;
+
+inline void count_faa() { ++tl_counters.faa; }
+inline void count_threshold() { ++tl_counters.threshold; }
+
+// Snapshot of this thread's counters (diff two snapshots around a workload).
+inline Counters snapshot() { return tl_counters; }
+
+}  // namespace wcq::opcount

@@ -9,13 +9,29 @@
 // checks full" precondition holds by construction, and "queue full" is
 // simply "fq empty".
 //
+// Index magazines (DESIGN.md §9): fq is a free list — FIFO order among free
+// indices is unobservable — so with Options::magazine (the default) each
+// thread caches recently-freed indices in a private magazine
+// (scale/index_magazine.hpp) and the fq half of every operation's
+// shared-ring cost (seq_cst F&A + threshold traffic) amortizes to one bulk
+// refill/spill per half-magazine span. The "full" contract relaxes
+// accordingly: an enqueue that finds its magazine and fq empty performs one
+// bounded reclaim sweep over all magazines (stealing a cached index) before
+// reporting full, so cached-but-unused indices can never wedge the queue and
+// UnboundedQueue segments never finalize before their exact capacity is
+// live. A thread-exit hook flushes a dying thread's magazine back to fq, so
+// no index leaks across thread churn (capacity stays exact).
+//
 // The progress property is inherited from the Ring parameter: wait-free with
-// WCQ (default), lock-free with SCQ.
+// WCQ (default), lock-free with SCQ. Magazine operations are bounded scans
+// and every magazine↔ring interaction uses the existing wait-free paths, so
+// the composition's progress class is unchanged.
 #pragma once
 
 #include <algorithm>
 #include <cassert>
 #include <cstddef>
+#include <mutex>
 #include <new>
 #include <optional>
 #include <type_traits>
@@ -24,6 +40,8 @@
 #include "common/align.hpp"
 #include "core/scq.hpp"
 #include "core/wcq.hpp"
+#include "runtime/thread_registry.hpp"
+#include "scale/index_magazine.hpp"
 
 namespace wcq {
 
@@ -49,27 +67,67 @@ class BoundedQueue {
                 "payloads move across threads; moves must not throw");
 
  public:
-  // Capacity = 2^order elements.
-  explicit BoundedQueue(unsigned order)
-      : aq_(order), fq_(order), data_(aq_.capacity(), kCacheLine) {
+  struct Options {
+    // Capacity = 2^order elements.
+    unsigned order;
+    // Per-thread free-index magazines; `magazine.capacity` is clamped to
+    // IndexMagazines::kMaxSlots and to capacity/4 (tiny rings get tiny or no
+    // magazines, keeping the full/finalize transition prompt). Disabled
+    // reproduces the plain Fig 2 double-ring behavior exactly.
+    IndexMagazines::Config magazine{};
+  };
+
+  explicit BoundedQueue(Options opt)
+      : aq_(opt.order),
+        fq_(opt.order),
+        data_(aq_.capacity(), kCacheLine),
+        mags_(effective_magazine_capacity(opt.magazine, aq_.capacity()),
+              ThreadRegistry::kMaxThreads) {
     for (u64 i = 0; i < fq_.capacity(); ++i) {
       fq_.enqueue(i);
     }
+    if (mags_.enabled()) {
+      // A dying thread flushes its cached free indices back to fq; without
+      // this an index could only be recovered by a (full-edge) reclaim
+      // sweep, and repeated churn would strand capacity in dead magazines.
+      hook_handle_ = ThreadRegistry::register_exit_hook(
+          &BoundedQueue::exit_hook_cb, this);
+    }
   }
 
-  ~BoundedQueue() { destroy_stragglers(); }
+  explicit BoundedQueue(unsigned order) : BoundedQueue(Options{order}) {}
+
+  ~BoundedQueue() {
+    if (mags_.enabled()) {
+      // Blocks until any in-flight exit flush completes; after this no
+      // thread can touch fq_/mags_ through the hook path.
+      ThreadRegistry::unregister_exit_hook(hook_handle_);
+    }
+    destroy_stragglers();
+  }
 
   // Re-initialize to the freshly-constructed state: destroy any payloads
   // still in flight, rewind both rings, and refill fq with 0..n-1. Same
   // exclusivity precondition as the rings' reset() — this is the bounded
   // layer of the segment-recycling path (DESIGN.md §8), where the hazard
-  // grace period guarantees no thread can still touch this queue.
+  // grace period guarantees no thread can still touch this queue... with one
+  // exception: a thread-exit hook needs no hazard to flush a magazine, so
+  // the magazine/fq rewind serializes with flushes on this queue's flush
+  // lock. Either the flush completed first (its indices land in the old fq
+  // and are discarded by the rewind) or it runs after (the magazine is
+  // already empty — a no-op); both orders preserve the
+  // exactly-one-of-each-index invariant (DESIGN.md §9). The lock is
+  // per-queue and taken only here and in the exit flush — never by
+  // enqueue/dequeue — so operation progress is unaffected and resets of
+  // unrelated queues do not serialize.
   void reset() {
     destroy_stragglers();
     aq_.reset();
-    fq_.reset();
-    for (u64 i = 0; i < fq_.capacity(); ++i) {
-      fq_.enqueue(i);
+    if (mags_.enabled()) {
+      const std::lock_guard<std::mutex> lk(mag_flush_mu_);
+      reset_free_indices();
+    } else {
+      reset_free_indices();
     }
   }
 
@@ -86,10 +144,10 @@ class BoundedQueue {
   // spill sweep) need the failure case to preserve ownership, which the
   // by-value overload cannot.
   bool enqueue_movable(T& value) {
-    const auto idx = fq_.dequeue();
-    if (!idx) return false;
-    ::new (static_cast<void*>(slot(*idx))) T(std::move(value));
-    aq_.enqueue(*idx);
+    u64 idx;
+    if (!claim_index(idx)) return false;
+    ::new (static_cast<void*>(slot(idx))) T(std::move(value));
+    aq_.enqueue(idx);
     return true;
   }
 
@@ -100,16 +158,17 @@ class BoundedQueue {
     T* p = slot(*idx);
     std::optional<T> out{std::move(*p)};
     p->~T();
-    fq_.enqueue(*idx);
+    release_index(*idx);
     return out;
   }
 
   // Batch insert (DESIGN.md §7): enqueues up to `n` values from `first`,
   // returning how many were taken. Exactly the first `ret` elements are
   // moved-from (a const source is copied instead); partial success means the
-  // queue filled up mid-span. Free indices are claimed and published through
-  // the rings' bulk paths in chunks, so the per-operation Tail/Head F&A and
-  // threshold traffic amortize across the span.
+  // queue filled up mid-span. Free indices are claimed from the caller's
+  // magazine first, then through the rings' bulk paths in chunks, so the
+  // per-operation Tail/Head F&A and threshold traffic amortize across the
+  // span.
   template <typename U,
             std::enable_if_t<std::is_same_v<std::remove_const_t<U>, T>, int> = 0>
   std::size_t enqueue_bulk(U* first, std::size_t n) {
@@ -117,16 +176,7 @@ class BoundedQueue {
     u64 idx[kBulkChunk];
     while (done < n) {
       const std::size_t want = std::min(n - done, kBulkChunk);
-      std::size_t got = 0;
-      if constexpr (detail::RingHasBulk<Ring>::value) {
-        got = fq_.dequeue_bulk(idx, want);
-      } else {
-        while (got < want) {
-          const auto i = fq_.dequeue();
-          if (!i) break;
-          idx[got++] = *i;
-        }
-      }
+      const std::size_t got = claim_indices(idx, want);
       if (got == 0) break;  // full
       for (std::size_t k = 0; k < got; ++k) {
         ::new (static_cast<void*>(slot(idx[k]))) T(std::move(first[done + k]));
@@ -169,11 +219,7 @@ class BoundedQueue {
         out[done + k] = std::move(*p);
         p->~T();
       }
-      if constexpr (detail::RingHasBulk<Ring>::value) {
-        fq_.enqueue_bulk(idx, got);
-      } else {
-        for (std::size_t k = 0; k < got; ++k) fq_.enqueue(idx[k]);
-      }
+      release_indices(idx, got);
       done += got;
       if (got < want) break;
     }
@@ -183,11 +229,154 @@ class BoundedQueue {
   // Ring access for diagnostics (e.g., threshold inspection in tests).
   const Ring& aq() const { return aq_; }
   const Ring& fq() const { return fq_; }
+  // Free indices currently cached in magazines (exact at quiescence).
+  std::size_t magazine_cached() const { return mags_.cached_total(); }
+  std::size_t magazine_capacity() const { return mags_.capacity(); }
 
  private:
   // Bulk spans are staged through a fixed stack buffer of indices so the
   // batch paths never allocate; larger caller spans just loop chunks.
   static constexpr std::size_t kBulkChunk = 64;
+
+  static std::size_t effective_magazine_capacity(
+      const IndexMagazines::Config& cfg, u64 ring_capacity) {
+    if (!cfg.enabled) return 0;
+    const std::size_t by_ring = static_cast<std::size_t>(ring_capacity / 4);
+    return std::min(cfg.capacity, by_ring);
+  }
+
+  // --- free-index claim/release (the fq half of Fig 2) ----------------------
+
+  // Claim one free index: magazine, then fq (refilling the magazine through
+  // one bulk dequeue), then the reclaim sweep. False = queue full.
+  bool claim_index(u64& idx) {
+    if (!mags_.enabled()) {
+      const auto i = fq_.dequeue();
+      if (!i) return false;
+      idx = *i;
+      return true;
+    }
+    if (mags_.try_take(idx)) return true;  // steady-state hit: no ring op
+    if (refill_claim(idx)) return true;
+    return mags_.steal(idx);
+  }
+
+  // One bulk fq dequeue refills the magazine and yields the caller's index:
+  // the Head F&A and threshold decrement amortize across the span.
+  bool refill_claim(u64& idx) {
+    u64 buf[IndexMagazines::kMaxSlots + 1];
+    const std::size_t want = 1 + mags_.refill_span();
+    std::size_t got = 0;
+    if constexpr (detail::RingHasBulk<Ring>::value) {
+      got = fq_.dequeue_bulk(buf, want);
+      if (got == 0) {
+        // The bulk path may cede contended ranks without proving emptiness;
+        // the single-op dequeue is the authoritative answer (and is an O(1)
+        // threshold check when fq is truly empty).
+        const auto i = fq_.dequeue();
+        if (!i) return false;
+        idx = *i;
+        return true;
+      }
+    } else {
+      while (got < want) {
+        const auto i = fq_.dequeue();
+        if (!i) break;
+        buf[got++] = *i;
+      }
+      if (got == 0) return false;
+    }
+    idx = buf[0];
+    for (std::size_t k = 1; k < got; ++k) {
+      // Cannot overflow in practice (only the owner puts, and it just saw
+      // its magazine empty); the fq fallback keeps a lost index impossible.
+      if (!mags_.try_put(buf[k])) fq_.enqueue(buf[k]);
+    }
+    return true;
+  }
+
+  // Claim up to `want` indices for a bulk span: magazine first, fq bulk for
+  // the remainder, reclaim sweep before concluding full.
+  std::size_t claim_indices(u64* idx, std::size_t want) {
+    std::size_t got = 0;
+    if (mags_.enabled()) got = mags_.take_some(idx, want);
+    if (got < want) {
+      if constexpr (detail::RingHasBulk<Ring>::value) {
+        got += fq_.dequeue_bulk(idx + got, want - got);
+      } else {
+        while (got < want) {
+          const auto i = fq_.dequeue();
+          if (!i) break;
+          idx[got++] = *i;
+        }
+      }
+    }
+    if (got == 0 && mags_.enabled()) {
+      if (const auto i = fq_.dequeue()) {  // authoritative (see refill_claim)
+        idx[got++] = *i;
+      } else if (u64 s; mags_.steal(s)) {
+        idx[got++] = s;
+      }
+    }
+    return got;
+  }
+
+  // Recycle one freed index: cache it; when the magazine is past its
+  // high-water mark (full), spill half back through one bulk fq enqueue so
+  // the Tail F&A and threshold re-arm amortize across the spilled span.
+  void release_index(u64 idx) {
+    if (!mags_.enabled()) {
+      fq_.enqueue(idx);
+      return;
+    }
+    if (mags_.try_put(idx)) return;
+    u64 buf[IndexMagazines::kMaxSlots];
+    const std::size_t n = mags_.take_some(buf, mags_.spill_span());
+    if (n > 0) bulk_release_to_fq(buf, n);
+    if (!mags_.try_put(idx)) fq_.enqueue(idx);
+  }
+
+  // Recycle a bulk span: top the magazine up, send the rest through one fq
+  // bulk enqueue.
+  void release_indices(const u64* idx, std::size_t n) {
+    std::size_t k = 0;
+    if (mags_.enabled()) {
+      while (k < n && mags_.try_put(idx[k])) ++k;
+    }
+    if (k < n) bulk_release_to_fq(idx + k, n - k);
+  }
+
+  void bulk_release_to_fq(const u64* idx, std::size_t n) {
+    if constexpr (detail::RingHasBulk<Ring>::value) {
+      fq_.enqueue_bulk(idx, n);
+    } else {
+      for (std::size_t k = 0; k < n; ++k) fq_.enqueue(idx[k]);
+    }
+  }
+
+  // Thread-exit flush: return the dying thread's cached indices to fq. Runs
+  // on the exiting thread (its tid is still valid, so the fq enqueue's
+  // per-thread record access works), serialized with reset() by this
+  // queue's flush lock — a flush landing mid-rewind would duplicate free
+  // indices (DESIGN.md §9). Lock order is registry hook lock → flush lock;
+  // nothing takes them in the other order.
+  static void exit_hook_cb(void* ctx, unsigned tid) {
+    auto* self = static_cast<BoundedQueue*>(ctx);
+    const std::lock_guard<std::mutex> lk(self->mag_flush_mu_);
+    u64 buf[IndexMagazines::kMaxSlots];
+    const std::size_t got =
+        self->mags_.drain_tid(tid, buf, IndexMagazines::kMaxSlots);
+    if (got > 0) self->bulk_release_to_fq(buf, got);
+  }
+
+  // Magazine + fq rewind (under the flush lock when magazines are on).
+  void reset_free_indices() {
+    mags_.clear();
+    fq_.reset();
+    for (u64 i = 0; i < fq_.capacity(); ++i) {
+      fq_.enqueue(i);
+    }
+  }
 
   // Destroy any payloads still in flight. Single-threaded drain: successful
   // dequeues never burn threshold, so this loop empties the queue exactly.
@@ -209,6 +398,12 @@ class BoundedQueue {
   Ring aq_;
   Ring fq_;
   AlignedArray<Storage> data_;
+  IndexMagazines mags_;
+  // Serializes exit flushes against reset()'s magazine/fq rewind. Never
+  // touched by enqueue/dequeue, so the operations' progress class is
+  // untouched; contention is thread-exit × this queue's reset, both rare.
+  std::mutex mag_flush_mu_;
+  std::uint64_t hook_handle_ = 0;
 };
 
 }  // namespace wcq

@@ -18,6 +18,7 @@
 
 #include "common/align.hpp"
 #include "common/backoff.hpp"
+#include "common/op_counters.hpp"
 #include "core/entry.hpp"
 #include "core/remap.hpp"
 
@@ -109,6 +110,7 @@ class SCQ {
   // (the slot was unusable for this tail value).
   bool try_enq(u64 index, u64& tail_out) {
     const u64 t = tail_.value.fetch_add(1, std::memory_order_seq_cst);
+    opcount::count_faa();
     tail_out = t;
     const u64 j = remap_(codec_.pos_of(t));
     const u64 cycle_t = codec_.cycle_of(t);
@@ -126,6 +128,7 @@ class SCQ {
         if (threshold_.value.load(std::memory_order_seq_cst) !=
             threshold_max()) {
           threshold_.value.store(threshold_max(), std::memory_order_seq_cst);
+          opcount::count_threshold();
         }
         return true;
       }
@@ -136,6 +139,7 @@ class SCQ {
   // Fig 3, try_deq.
   DeqStatus try_deq(u64& index_out) {
     const u64 h = head_.value.fetch_add(1, std::memory_order_seq_cst);
+    opcount::count_faa();
     const u64 j = remap_(codec_.pos_of(h));
     const u64 cycle_h = codec_.cycle_of(h);
     u64 raw = entries_[j].load(std::memory_order_acquire);
@@ -165,9 +169,11 @@ class SCQ {
         if (t <= h + 1) {
           catchup(t, h + 1);
           threshold_.value.fetch_sub(1, std::memory_order_seq_cst);
+          opcount::count_threshold();
           return DeqStatus::kEmpty;
         }
       }
+      opcount::count_threshold();
       if (threshold_.value.fetch_sub(1, std::memory_order_seq_cst) <= 0) {
         return DeqStatus::kEmpty;
       }

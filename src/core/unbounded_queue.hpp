@@ -41,6 +41,7 @@
 #include "core/bounded_queue.hpp"
 #include "reclaim/hazard_pointers.hpp"
 #include "reclaim/segment_pool.hpp"
+#include "scale/index_magazine.hpp"
 
 namespace wcq {
 
@@ -57,13 +58,22 @@ class UnboundedQueue {
     // Hard ceiling on parked segments; the effective cap also scales with
     // registered threads (SegmentPool::cap).
     std::size_t pool_slots = 64;
+    // Per-thread free-index magazines inside each segment (DESIGN.md §9).
+    // BoundedQueue clamps the capacity to 2^segment_order / 4, keeping
+    // magazines well under the segment size so the finalize-on-full
+    // transition stays prompt; the full-edge reclaim sweep recovers cached
+    // indices before "full" is reported, so a segment finalizes at its
+    // exact capacity up to the same in-flight transients the plain double
+    // ring has (a sweep can miss an index mid-flight — DESIGN.md §9), and
+    // recycling (and SteadyStateZeroAllocations) is unaffected.
+    IndexMagazines::Config magazine{};
   };
 
   explicit UnboundedQueue(Options opt)
       : opt_(opt),
         pool_(opt.pool_slots),
         hp_(kRetireScanThreshold) {
-    Segment* first = Segment::create(opt_.segment_order);
+    Segment* first = Segment::create(segment_options());
     head_.value.store(first, std::memory_order_relaxed);
     tail_.value.store(first, std::memory_order_relaxed);
   }
@@ -89,7 +99,9 @@ class UnboundedQueue {
   UnboundedQueue& operator=(const UnboundedQueue&) = delete;
 
   // Never fails (appends a ring when the last one fills/finalizes; the ring
-  // comes from the segment pool when one is parked there).
+  // comes from the segment pool when one is parked there). The payload moves
+  // down the whole chain (Segment::enqueue → BoundedQueue::enqueue_movable):
+  // the old const& chain copied it twice per operation.
   bool enqueue(T value) {
     for (;;) {
       Segment* ltail = hp_.protect(0, tail_.value);
@@ -116,7 +128,12 @@ class UnboundedQueue {
         hp_.clear(0);
         return true;
       }
-      release_segment(fresh);  // somebody appended first; retry there
+      // Somebody appended first; take the seeded element back (we own fresh
+      // exclusively, so this dequeue cannot fail) and retry there. With the
+      // moving chain the element lives in fresh now — the old copying chain
+      // could just drop the segment's copy.
+      value = std::move(*fresh->dequeue());
+      release_segment(fresh);
     }
   }
 
@@ -208,11 +225,13 @@ class UnboundedQueue {
  private:
   // One ring segment: a Fig 2 bounded queue plus finalization state.
   struct Segment {
-    explicit Segment(unsigned order) : queue(order) {}
+    using QueueOptions = typename BoundedQueue<T, Ring>::Options;
 
-    static Segment* create(unsigned order) {
+    explicit Segment(const QueueOptions& opt) : queue(opt) {}
+
+    static Segment* create(const QueueOptions& opt) {
       void* mem = alloc_meter::allocate(sizeof(Segment));
-      return new (mem) Segment(order);
+      return new (mem) Segment(opt);
     }
     static void destroy(Segment* s) {
       s->~Segment();
@@ -232,13 +251,15 @@ class UnboundedQueue {
 
     // False once the segment is full: the segment finalizes and no enqueue
     // will ever succeed on it again (so FIFO order across segments holds).
-    bool enqueue(const T& v) {
+    // On success `v` is moved-from; on failure it is left intact (the
+    // enqueue_movable contract), so the caller can retarget it.
+    bool enqueue(T& v) {
       in_flight.fetch_add(1, std::memory_order_seq_cst);
       if (finalized.load(std::memory_order_seq_cst)) {
         in_flight.fetch_sub(1, std::memory_order_seq_cst);
         return false;
       }
-      const bool ok = queue.enqueue(v);
+      const bool ok = queue.enqueue_movable(v);
       if (!ok) {
         finalized.store(true, std::memory_order_seq_cst);
       }
@@ -264,11 +285,15 @@ class UnboundedQueue {
   // segment was reset by its recycler; the pool's release/acquire hand-off
   // publishes those writes to us, and the list-append CAS publishes them to
   // everyone else (DESIGN.md §8).
+  typename Segment::QueueOptions segment_options() const {
+    return typename Segment::QueueOptions{opt_.segment_order, opt_.magazine};
+  }
+
   Segment* acquire_segment() {
     if (opt_.recycle) {
       if (Segment* s = pool_.try_get()) return s;
     }
-    return Segment::create(opt_.segment_order);
+    return Segment::create(segment_options());
   }
 
   // Give back a segment this thread exclusively owns (never published, or

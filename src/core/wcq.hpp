@@ -49,6 +49,7 @@
 #include "common/align.hpp"
 #include "common/backoff.hpp"
 #include "common/dwcas.hpp"
+#include "common/op_counters.hpp"
 #include "core/entry.hpp"
 #include "core/remap.hpp"
 #include "runtime/thread_registry.hpp"
@@ -207,6 +208,7 @@ class BasicWCQ {
     ThreadRec& rec = my_record();
     help_threads(rec);
     const u64 base = tail_.lo.fetch_add(n, std::memory_order_seq_cst);
+    opcount::count_faa();
     std::size_t done = 0;
     for (std::size_t k = 0; k < n && done < n; ++k) {
       if (enq_at(base + k, indices[done], /*reset_thld=*/false)) ++done;
@@ -234,6 +236,7 @@ class BasicWCQ {
     ThreadRec& rec = my_record();
     help_threads(rec);
     const u64 base = head_.lo.fetch_add(n, std::memory_order_seq_cst);
+    opcount::count_faa();
     std::size_t got = 0;
     for (std::size_t k = 0; k < n; ++k) {
       u64 idx;
@@ -447,6 +450,7 @@ class BasicWCQ {
 
   bool try_enq(u64 index, u64& tail_out) {
     const u64 t = tail_.lo.fetch_add(1, std::memory_order_seq_cst);
+    opcount::count_faa();
     tail_out = t;
     return enq_at(t, index, /*reset_thld=*/true);
   }
@@ -481,6 +485,7 @@ class BasicWCQ {
 
   DeqStatus try_deq(u64& index_out, u64& head_out) {
     const u64 h = head_.lo.fetch_add(1, std::memory_order_seq_cst);
+    opcount::count_faa();
     head_out = h;
     return deq_at(h, index_out);
   }
@@ -519,10 +524,12 @@ class BasicWCQ {
         if (t <= h + 1) {
           catchup(t, h + 1);
           threshold_.value.fetch_sub(1, std::memory_order_seq_cst);
+          opcount::count_threshold();
           dbg(kEvDeqEmptyFast, h);
           return DeqStatus::kEmpty;
         }
       }
+      opcount::count_threshold();
       if (threshold_.value.fetch_sub(1, std::memory_order_seq_cst) <= 0) {
         dbg(kEvDeqEmptyFast, h);
         return DeqStatus::kEmpty;
@@ -533,8 +540,31 @@ class BasicWCQ {
   }
 
   void reset_threshold() {
-    if (threshold_.value.load(std::memory_order_seq_cst) != threshold_max()) {
+    // The dirty pre-check is a heuristic that skips the seq_cst store when
+    // the threshold is already re-armed; relaxed suffices for it. A skip is
+    // taken only when the load returns threshold_max, a value some thread's
+    // re-arm stored, and there are two ways that can be "wrong":
+    //  * Staleness — reading a threshold_max that decrements have already
+    //    buried. Coherent hardware does not produce this for a plain load
+    //    (the load returns the line's current committed value); decrements
+    //    landing after the read are indistinguishable from decrements
+    //    landing right after a performed store, which the seq_cst version
+    //    tolerates too.
+    //  * Store-load reordering — on non-TSO ISAs the relaxed load may be
+    //    satisfied while this thread's entry-publishing CAS still sits in
+    //    the store buffer, so decrements by dequeuers that missed the
+    //    not-yet-visible entry can predate the read. The skip then leaves
+    //    the budget short by k, where k is bounded by the seq_cst RMWs
+    //    other cores can complete inside one store-buffer drain window —
+    //    a handful of contended line transfers, far under the ~n slack the
+    //    3n-1 bound carries over the <= 2n failed probes needed to reach a
+    //    present element (x86's locked CAS is a full fence: k = 0 there).
+    // All cross-thread ordering still flows through the guarded store,
+    // which stays seq_cst (Lemma 5.5 ordering); the L4 empty-window history
+    // check is the regression net for this argument.
+    if (threshold_.value.load(std::memory_order_relaxed) != threshold_max()) {
       threshold_.value.store(threshold_max(), std::memory_order_seq_cst);
+      opcount::count_threshold();
     }
   }
 
@@ -793,11 +823,13 @@ class BasicWCQ {
       const u64 gen = prepare_phase2(p2, &local, cnt);
       Pair128 expect{cnt, 0};
       if (dwcas(global, expect, Pair128{cnt + 1, make_ref(my, gen)})) {
+        opcount::count_faa();  // the slow path's published increment
         dbg(kEvPublishOk, cnt, rec_index(req_rec));
         // Exactly one thread reaches here per reservation: the threshold is
         // decremented once per global Head change (Lemma 5.6).
         if (thld != nullptr) {
           thld->fetch_sub(1, std::memory_order_seq_cst);
+          opcount::count_threshold();
         }
         u64 e = cnt | kInc;
         if (local.compare_exchange_strong(e, cnt, std::memory_order_seq_cst)) {

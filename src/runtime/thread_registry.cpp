@@ -2,6 +2,8 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
+#include <vector>
 
 namespace wcq {
 
@@ -12,6 +14,39 @@ constexpr unsigned kWords = ThreadRegistry::kMaxThreads / 64;
 std::atomic<std::uint64_t> g_bitmap[kWords];
 std::atomic<unsigned> g_high_water{0};
 std::atomic<unsigned> g_live{0};
+
+// Exit-hook table. The lock serializes registration, unregistration, hook
+// invocation and with_exit_hooks_blocked(); hook bodies are bounded queue
+// operations (magazine flushes), so holding the lock across them is cheap
+// and buys the teardown guarantee unregister_exit_hook() documents. Both
+// objects are function-local statics: the main thread's SlotHolder runs its
+// hooks during thread_local destruction, which [basic.start.term] orders
+// before static-duration destruction, and the lazy construction dodges the
+// static-init-order fiasco for queues constructed before main().
+struct HookEntry {
+  std::uint64_t handle;
+  ThreadRegistry::ExitHook fn;
+  void* ctx;
+};
+
+std::mutex& hook_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::vector<HookEntry>& hook_table() {
+  static std::vector<HookEntry> t;
+  return t;
+}
+
+std::uint64_t g_next_hook_handle{1};
+
+void run_exit_hooks(unsigned slot) {
+  std::lock_guard<std::mutex> lk(hook_mutex());
+  for (const HookEntry& h : hook_table()) {
+    h.fn(h.ctx, slot);
+  }
+}
 
 unsigned acquire_slot() {
   for (unsigned w = 0; w < kWords; ++w) {
@@ -54,7 +89,14 @@ void release_slot(unsigned slot) {
 struct SlotHolder {
   unsigned slot;
   SlotHolder() : slot(acquire_slot()) {}
-  ~SlotHolder() { release_slot(slot); }
+  ~SlotHolder() {
+    // Hooks run first: the slot is still this thread's, so a hook may issue
+    // queue operations (the magazine flush enqueues into fq, whose ring
+    // reads ThreadRegistry::tid() — re-entering tid() here returns this
+    // holder's still-alive `slot` member, valid for the whole dtor body).
+    run_exit_hooks(slot);
+    release_slot(slot);
+  }
 };
 
 }  // namespace
@@ -70,6 +112,24 @@ unsigned ThreadRegistry::high_water() {
 
 unsigned ThreadRegistry::live_threads() {
   return g_live.load(std::memory_order_relaxed);
+}
+
+std::uint64_t ThreadRegistry::register_exit_hook(ExitHook fn, void* ctx) {
+  std::lock_guard<std::mutex> lk(hook_mutex());
+  const std::uint64_t handle = g_next_hook_handle++;
+  hook_table().push_back(HookEntry{handle, fn, ctx});
+  return handle;
+}
+
+void ThreadRegistry::unregister_exit_hook(std::uint64_t handle) {
+  std::lock_guard<std::mutex> lk(hook_mutex());
+  auto& t = hook_table();
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].handle == handle) {
+      t.erase(t.begin() + static_cast<std::ptrdiff_t>(i));
+      return;
+    }
+  }
 }
 
 }  // namespace wcq

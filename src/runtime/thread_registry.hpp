@@ -1,4 +1,4 @@
-// Process-wide thread-slot registry.
+// Process-wide thread-slot registry and thread-exit hooks.
 //
 // wCQ's helping protocol needs a bounded array of per-thread records indexed
 // by a dense thread id (the paper's NUM_THRDS / TID). We assign each OS
@@ -8,6 +8,18 @@
 //
 // Slot acquisition is a lock-free scan over a bitmap; it runs once per thread
 // lifetime, after which `tid()` is a thread_local read.
+//
+// Exit hooks (DESIGN.md §9): subsystems that keep per-tid state outside a
+// queue operation — the index-magazine free-index caches — register a
+// callback that fires on the exiting thread, after its last queue operation
+// and *before* its slot is released (so the callback may still perform queue
+// operations under the dying tid). Hooks run serialized under one internal
+// lock; unregister_exit_hook() blocks until any in-flight invocation
+// completes, so after it returns the hook's context can be torn down.
+// Mutual exclusion between a hook body and other work on its per-queue
+// state (the reset-vs-flush race) is the registrant's job — BoundedQueue
+// uses its own flush lock, keeping this registry lock out of queue reset
+// paths.
 #pragma once
 
 #include <atomic>
@@ -34,6 +46,20 @@ class ThreadRegistry {
 
   // Number of currently-held slots (test hook).
   static unsigned live_threads();
+
+  // --- exit hooks ----------------------------------------------------------
+
+  using ExitHook = void (*)(void* ctx, unsigned tid);
+
+  // Register `fn` to run (as fn(ctx, tid)) on every registered thread's
+  // exit, on the exiting thread itself, before its slot is released.
+  // Returns a handle for unregister_exit_hook. Hooks must not register or
+  // unregister hooks, and must be bounded (they run under the hook lock).
+  static std::uint64_t register_exit_hook(ExitHook fn, void* ctx);
+
+  // Remove a hook. Blocks until any in-flight invocation of it completes;
+  // after return the hook will never run again and `ctx` may be destroyed.
+  static void unregister_exit_hook(std::uint64_t handle);
 };
 
 }  // namespace wcq

@@ -38,6 +38,7 @@
 #include "core/bounded_queue.hpp"
 #include "core/wcq.hpp"
 #include "runtime/thread_registry.hpp"
+#include "scale/index_magazine.hpp"
 
 namespace wcq {
 
@@ -46,16 +47,29 @@ class ShardedQueue {
  public:
   using Shard = BoundedQueue<T, Ring>;
 
-  // `shards` is rounded up to a power of two (at least 1); each shard is an
-  // independent BoundedQueue of capacity 2^shard_order.
-  ShardedQueue(unsigned shards, unsigned shard_order) {
-    const unsigned n = std::bit_ceil(shards == 0 ? 1u : shards);
+  struct Options {
+    // Rounded up to a power of two (at least 1).
+    unsigned shards = 4;
+    // Each shard is an independent BoundedQueue of capacity 2^shard_order.
+    unsigned shard_order = 12;
+    // Per-thread free-index magazines inside each shard (DESIGN.md §9);
+    // home-shard affinity means a thread's magazine hits concentrate on one
+    // shard, exactly the locality magazines reward.
+    IndexMagazines::Config magazine{};
+  };
+
+  explicit ShardedQueue(Options opt) {
+    const unsigned n = std::bit_ceil(opt.shards == 0 ? 1u : opt.shards);
     mask_ = n - 1;
     shards_.reserve(n);
     for (unsigned i = 0; i < n; ++i) {
-      shards_.push_back(std::make_unique<Shard>(shard_order));
+      shards_.push_back(std::make_unique<Shard>(
+          typename Shard::Options{opt.shard_order, opt.magazine}));
     }
   }
+
+  ShardedQueue(unsigned shards, unsigned shard_order)
+      : ShardedQueue(Options{shards, shard_order}) {}
 
   ShardedQueue(const ShardedQueue&) = delete;
   ShardedQueue& operator=(const ShardedQueue&) = delete;

@@ -179,8 +179,35 @@ void check_fifo_properties(const History& h) {
 }
 
 TEST(Linearizability, FastPathHistory) {
-  BoundedQueue<u64> q(8);
+  // Magazines explicitly off: this suite pins the plain Fig 2 double-ring
+  // behavior (the magazine-enabled analogues are below).
+  BoundedQueue<u64> q(
+      BoundedQueue<u64>::Options{8, {.enabled = false, .capacity = 0}});
   History h = record_history(q, 3, 3, 15000);
+  check_fifo_properties(h);
+}
+
+TEST(Linearizability, MagazineFastPathHistory) {
+  // Per-thread index magazines on (DESIGN.md §9): free indices recirculate
+  // through thread-private caches and cross-thread steals instead of fq's
+  // FIFO, which must be unobservable — L1 (exactly-once) catches a lost or
+  // duplicated index, L2-L4 catch any ordering/emptiness leak through the
+  // relaxed "full" contract.
+  BoundedQueue<u64> q(BoundedQueue<u64>::Options{8, {}});
+  ASSERT_GT(q.magazine_capacity(), 0u);
+  History h = record_history(q, 3, 3, 15000);
+  check_fifo_properties(h);
+}
+
+TEST(Linearizability, MagazineTinyQueueHistory) {
+  // Tiny capacity forces the full edge constantly: every producer exercises
+  // the refill-miss -> authoritative fq check -> reclaim-steal path while
+  // consumers churn their magazines, the exact window in which the relaxed
+  // "full" contract could lose or duplicate an element.
+  BoundedQueue<u64> q(
+      BoundedQueue<u64>::Options{4, {.enabled = true, .capacity = 4}});
+  ASSERT_EQ(q.magazine_capacity(), 4u);
+  History h = record_history(q, 3, 3, 8000);
   check_fifo_properties(h);
 }
 

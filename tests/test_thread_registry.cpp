@@ -50,6 +50,93 @@ TEST(ThreadRegistry, SlotsAreRecycledAfterThreadExit) {
   EXPECT_LE(ThreadRegistry::high_water(), hw_before + 4);
 }
 
+struct HookLog {
+  std::atomic<unsigned> fires{0};
+  std::atomic<unsigned> last_tid{~0u};
+};
+
+void record_hook(void* ctx, unsigned tid) {
+  auto* log = static_cast<HookLog*>(ctx);
+  log->fires.fetch_add(1);
+  log->last_tid.store(tid);
+}
+
+TEST(ThreadRegistry, ExitHookFiresOnRegisteredThreadExit) {
+  HookLog log;
+  const auto handle = ThreadRegistry::register_exit_hook(&record_hook, &log);
+  unsigned worker_tid = ~0u;
+  std::thread t([&] { worker_tid = ThreadRegistry::tid(); });
+  t.join();
+  EXPECT_EQ(log.fires.load(), 1u) << "hook must fire exactly once per exit";
+  EXPECT_EQ(log.last_tid.load(), worker_tid)
+      << "hook must receive the exiting thread's tid";
+  ThreadRegistry::unregister_exit_hook(handle);
+}
+
+TEST(ThreadRegistry, UnregisteredHookNeverFiresAgain) {
+  HookLog log;
+  const auto handle = ThreadRegistry::register_exit_hook(&record_hook, &log);
+  std::thread([&] { (void)ThreadRegistry::tid(); }).join();
+  ASSERT_EQ(log.fires.load(), 1u);
+  ThreadRegistry::unregister_exit_hook(handle);
+  std::thread([&] { (void)ThreadRegistry::tid(); }).join();
+  EXPECT_EQ(log.fires.load(), 1u) << "hook fired after unregister";
+  // Unregistering a dead handle is a harmless no-op.
+  ThreadRegistry::unregister_exit_hook(handle);
+}
+
+TEST(ThreadRegistry, AllRegisteredHooksFirePerExit) {
+  HookLog a, b;
+  const auto ha = ThreadRegistry::register_exit_hook(&record_hook, &a);
+  const auto hb = ThreadRegistry::register_exit_hook(&record_hook, &b);
+  for (int i = 0; i < 3; ++i) {
+    std::thread([&] { (void)ThreadRegistry::tid(); }).join();
+  }
+  EXPECT_EQ(a.fires.load(), 3u);
+  EXPECT_EQ(b.fires.load(), 3u);
+  ThreadRegistry::unregister_exit_hook(ha);
+  ThreadRegistry::unregister_exit_hook(hb);
+}
+
+TEST(ThreadRegistry, UnregisterWaitsForInFlightHook) {
+  // unregister_exit_hook must block until a running invocation completes —
+  // that is what lets a queue destructor tear down the hook's context
+  // safely. The hook parks until released; unregister from the main thread
+  // must not return while it is parked.
+  struct GateLog {
+    std::atomic<bool> entered{false};
+    std::atomic<bool> release{false};
+    std::atomic<bool> finished{false};
+  } gate;
+  const auto handle = ThreadRegistry::register_exit_hook(
+      [](void* ctx, unsigned) {
+        auto* g = static_cast<GateLog*>(ctx);
+        g->entered.store(true);
+        while (!g->release.load()) {
+          std::this_thread::yield();
+        }
+        g->finished.store(true);
+      },
+      &gate);
+  std::thread worker([] { (void)ThreadRegistry::tid(); });
+  while (!gate.entered.load()) {
+    std::this_thread::yield();
+  }
+  std::atomic<bool> unregistered{false};
+  std::thread unreg([&] {
+    ThreadRegistry::unregister_exit_hook(handle);
+    unregistered.store(true);
+  });
+  // The hook is parked inside its invocation; unregister must not complete.
+  for (int i = 0; i < 100; ++i) std::this_thread::yield();
+  EXPECT_FALSE(unregistered.load())
+      << "unregister returned while the hook was still running";
+  gate.release.store(true);
+  unreg.join();
+  EXPECT_TRUE(gate.finished.load());
+  worker.join();
+}
+
 TEST(ThreadRegistry, LiveThreadsCountsHeldSlots) {
   const unsigned before = ThreadRegistry::live_threads();
   std::atomic<bool> go{false};
