@@ -14,9 +14,16 @@
 // measures exactly that, independent of scheduler noise. CI asserts the
 // reduction from the JSON report via bench/check_ringops.py.
 //
+// --handles adds a third series, "Bounded-handle": the same queue driven
+// through explicit per-worker session handles (DESIGN.md §10). Its A/B
+// metric is the registry-lookup counter — implicit ops resolve the
+// thread_local tid once per op (~1/op), handle ops only pay the amortized
+// help-check refresh — and check_ringops.py gates it at ≤1 lookup/op.
+//
 // Flags as the other drivers; WCQ_BENCH_BOUNDED_ORDER / WCQ_BENCH_MAGAZINE
 // set the queue capacity and magazine size.
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -38,7 +45,7 @@ Series run_named(const BenchParams& p, std::string name) {
 }
 
 void run_panel(const BenchParams& p, Workload w, const char* figure,
-               const char* caption, JsonReport& report) {
+               const char* caption, bool handles, JsonReport& report) {
   BenchParams q = p;
   q.workload = w;
   print_preamble(figure, caption, q);
@@ -48,19 +55,24 @@ void run_panel(const BenchParams& p, Workload w, const char* figure,
   series.push_back(run_named<BoundedAdapter>(q, BoundedAdapter::kName));
   series.push_back(
       run_named<BoundedNoMagAdapter>(q, BoundedNoMagAdapter::kName));
+  if (handles) {
+    series.push_back(
+        run_named<BoundedHandleAdapter>(q, BoundedHandleAdapter::kName));
+  }
   print_throughput_table(series, q.thread_counts);
   print_ringops_table(series, q.thread_counts);
+  if (handles) print_registry_table(series, q.thread_counts);
   print_cv_note(series);
   report.add_panel(caption, q, series);
   std::printf("\n");
 }
 
-void run_magazine(const BenchParams& p) {
+void run_magazine(const BenchParams& p, bool handles) {
   JsonReport report;
   run_panel(p, Workload::kP5050, "Magazine M1",
-            "magazine A/B, p5050 workload", report);
+            "magazine A/B, p5050 workload", handles, report);
   run_panel(p, Workload::kPairs, "Magazine M2",
-            "magazine A/B, pairs workload", report);
+            "magazine A/B, pairs workload", handles, report);
   if (!p.json_path.empty()) report.write(p.json_path);
 }
 
@@ -69,6 +81,10 @@ void run_magazine(const BenchParams& p) {
 
 int main(int argc, char** argv) {
   wcq::bench::BenchParams p = wcq::bench::BenchParams::parse(argc, argv);
-  wcq::bench::run_magazine(p);
+  bool handles = false;  // driver-local flag; parse() ignores unknown flags
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--handles") == 0) handles = true;
+  }
+  wcq::bench::run_magazine(p, handles);
   return 0;
 }

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Assert the index-magazine shared-ring-op reduction from a bench report.
+"""Assert the magazine and session-handle counter targets from a bench report.
 
 Reads the JSON written by bench_magazine (--json=...) and requires that, on
 the p5050 panel, the magazine-enabled "Bounded" series issues at least
@@ -8,7 +8,15 @@ the p5050 panel, the magazine-enabled "Bounded" series issues at least
 counter, not wall-clock, so this check is deterministic enough to gate CI on
 a noisy 1-core host (DESIGN.md §9).
 
+With --max-registry (and a report produced by `bench_magazine --handles`)
+it additionally gates the explicit-session path (DESIGN.md §10): the
+"Bounded-handle" series must perform at most --max-registry
+registry/thread_local lookups per operation at every measured thread count
+— the acceptance bar for the handle refactor. Also counter-based, so it
+holds on 1-core CI.
+
 Usage: check_ringops.py REPORT.json [--min-reduction 0.40] [--workload p5050]
+                        [--max-registry 1.0] [--handle-series Bounded-handle]
 Exit status: 0 on pass, 1 on a missed target or malformed report.
 """
 
@@ -18,6 +26,7 @@ import sys
 
 MAG_SERIES = "Bounded"
 BASE_SERIES = "Bounded-nomag"
+HANDLE_SERIES = "Bounded-handle"
 
 
 def series_points(panel, name):
@@ -35,6 +44,13 @@ def main():
                          "(default: 0.40, the PR 4 acceptance bar)")
     ap.add_argument("--workload", default="p5050",
                     help="panel workload to check (default: p5050)")
+    ap.add_argument("--max-registry", type=float, default=None,
+                    help="if set, the handle series must perform at most "
+                         "this many registry/thread_local lookups per op "
+                         "(the PR 5 acceptance bar is 1.0)")
+    ap.add_argument("--handle-series", default=HANDLE_SERIES,
+                    help=f"series name for the registry gate "
+                         f"(default: {HANDLE_SERIES})")
     args = ap.parse_args()
 
     with open(args.report) as f:
@@ -73,6 +89,27 @@ def main():
                   f"{args.min_reduction * 100.0:.0f}%) {verdict}")
             if reduction < args.min_reduction:
                 failures += 1
+
+        if args.max_registry is not None:
+            handle = series_points(panel, args.handle_series)
+            if handle is None:
+                print(f"check_ringops: panel '{panel.get('caption')}' lacks "
+                      f"'{args.handle_series}' series (run bench_magazine "
+                      f"--handles)")
+                return 1
+            for threads in sorted(handle):
+                reg = handle[threads].get("registry_per_op_mean")
+                if reg is None:
+                    print("check_ringops: report lacks registry_per_op_mean "
+                          "— counters out of date?")
+                    return 1
+                checked += 1
+                verdict = "ok" if reg <= args.max_registry else "FAIL"
+                print(f"check_ringops: [{panel.get('caption')}] "
+                      f"threads={threads} registry/op {reg:.3f} "
+                      f"(max {args.max_registry:.2f}) {verdict}")
+                if reg > args.max_registry:
+                    failures += 1
 
     if checked == 0:
         print("check_ringops: no comparable points found")

@@ -135,6 +135,12 @@ struct ScqAdapter {
     out = *v;
     return true;
   }
+  static std::size_t enqueue_bulk(Queue& q, const u64* v, std::size_t n) {
+    return detail::ring_enqueue_bulk(q, v, n);
+  }
+  static std::size_t dequeue_bulk(Queue& q, u64* out, std::size_t n) {
+    return q.dequeue_bulk(out, n);
+  }
 };
 
 template <typename Q, const char* Name>
@@ -239,6 +245,43 @@ inline constexpr char kBoundedNoMagName[] = "Bounded-nomag";
 
 using BoundedAdapter = BoundedQueueAdapter<true, kBoundedName>;
 using BoundedNoMagAdapter = BoundedQueueAdapter<false, kBoundedNoMagName>;
+
+// Explicit-session variant of the Fig 2 bounded queue (DESIGN.md §10):
+// identical configuration to "Bounded", but every worker acquires one
+// session handle at attach time and every operation takes it. The A/B
+// metric is `registry` (tid()/high_water() lookups per op): the implicit
+// path resolves the thread_local tid once per operation, the handle path
+// only on the amortized help-check refresh — the per-op difference the
+// handle refactor exists to produce, and wall-clock-independent like the
+// magazine counters. CI gates the handle series at ≤1 lookup/op.
+struct BoundedHandleAdapter {
+  static constexpr const char* kName = "Bounded-handle";
+  using Queue = BoundedQueue<u64, WCQ>;
+  using Handle = typename Queue::Handle;
+  static Queue* create() {
+    typename Queue::Options o{bounded_order()};
+    o.magazine.enabled = true;
+    o.magazine.capacity = bounded_magazine_capacity();
+    return new Queue(o);
+  }
+  static void destroy(Queue* q) { delete q; }
+  static Handle attach(Queue& q) { return q.acquire(); }
+  static bool enqueue(Queue& q, Handle& h, u64 v) { return q.enqueue(h, v); }
+  static bool dequeue(Queue& q, Handle& h, u64& out) {
+    auto v = q.dequeue(h);
+    if (!v) return false;
+    out = *v;
+    return true;
+  }
+  static std::size_t enqueue_bulk(Queue& q, Handle& h, const u64* v,
+                                  std::size_t n) {
+    return q.enqueue_bulk(h, v, n);
+  }
+  static std::size_t dequeue_bulk(Queue& q, Handle& h, u64* out,
+                                  std::size_t n) {
+    return q.dequeue_bulk(h, out, n);
+  }
+};
 
 // Sharded front-end (src/scale/): a value queue (no index masking), shard
 // count from g_sharded_shards / WCQ_BENCH_SHARDS, per-shard capacity

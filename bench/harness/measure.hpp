@@ -12,6 +12,12 @@
 //     // Optional batch path, used when BenchParams::batch > 1:
 //     static std::size_t enqueue_bulk(Queue&, const u64*, std::size_t);
 //     static std::size_t dequeue_bulk(Queue&, u64*, std::size_t);
+//     // Optional explicit-session path (DESIGN.md §10): when attach() is
+//     // present every operation takes the handle instead; each worker
+//     // attaches once, outside the measured loop.
+//     static Handle attach(Queue&);
+//     static bool enqueue(Queue&, Handle&, u64);
+//     static bool dequeue(Queue&, Handle&, u64&);
 //   };
 //
 // Accounting contract: every workload loop counts the operations it actually
@@ -28,6 +34,7 @@
 #include <cstdint>
 #include <thread>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "common/alloc_meter.hpp"
@@ -56,6 +63,9 @@ struct PointResult {
                        // (opcount; the magazine amortization metric —
                        // wall-clock-independent, so meaningful on 1-core CI)
   Summary ring_thld;   // shared Threshold RMWs/stores per executed op
+  Summary registry;    // ThreadRegistry tid()/high_water() lookups per op
+                       // (the session-handle metric, DESIGN.md §10; the CI
+                       // gate holds the handle path at ≤1 per op)
 };
 
 namespace detail {
@@ -78,11 +88,69 @@ struct AdapterHasBulk<
                     static_cast<u64*>(nullptr), std::size_t{0}))>>
     : std::true_type {};
 
+// Explicit-session adapters (DESIGN.md §10) expose `attach(Queue&)` and
+// handle-taking operations; each worker attaches once, outside the measured
+// loop, exactly as a thread-pool worker would hold a session.
+template <typename Adapter, typename = void>
+struct AdapterHasHandle : std::false_type {};
+template <typename Adapter>
+struct AdapterHasHandle<
+    Adapter, std::void_t<decltype(Adapter::attach(
+                 std::declval<typename Adapter::Queue&>()))>>
+    : std::true_type {};
+
+template <typename Adapter, typename = void>
+struct AdapterHasHandleBulk : std::false_type {};
+template <typename Adapter>
+struct AdapterHasHandleBulk<
+    Adapter,
+    std::void_t<decltype(Adapter::enqueue_bulk(
+                    std::declval<typename Adapter::Queue&>(),
+                    std::declval<decltype(Adapter::attach(
+                        std::declval<typename Adapter::Queue&>()))&>(),
+                    static_cast<const u64*>(nullptr), std::size_t{0}))>>
+    : std::true_type {};
+
+// One worker's operation surface: the queue plus, for handle adapters, the
+// session attached for this worker's lifetime. The workload loops are
+// written against this so the same code measures both calling conventions.
+template <typename Adapter, bool = AdapterHasHandle<Adapter>::value>
+struct OpsCtx {
+  typename Adapter::Queue& q;
+  static constexpr bool kBulk = AdapterHasBulk<Adapter>::value;
+  explicit OpsCtx(typename Adapter::Queue& queue) : q(queue) {}
+  bool enqueue(u64 v) { return Adapter::enqueue(q, v); }
+  bool dequeue(u64& out) { return Adapter::dequeue(q, out); }
+  std::size_t enqueue_bulk(const u64* v, std::size_t n) {
+    return Adapter::enqueue_bulk(q, v, n);
+  }
+  std::size_t dequeue_bulk(u64* out, std::size_t n) {
+    return Adapter::dequeue_bulk(q, out, n);
+  }
+};
+
+template <typename Adapter>
+struct OpsCtx<Adapter, true> {
+  typename Adapter::Queue& q;
+  decltype(Adapter::attach(std::declval<typename Adapter::Queue&>())) h;
+  static constexpr bool kBulk = AdapterHasHandleBulk<Adapter>::value;
+  explicit OpsCtx(typename Adapter::Queue& queue)
+      : q(queue), h(Adapter::attach(queue)) {}
+  bool enqueue(u64 v) { return Adapter::enqueue(q, h, v); }
+  bool dequeue(u64& out) { return Adapter::dequeue(q, h, out); }
+  std::size_t enqueue_bulk(const u64* v, std::size_t n) {
+    return Adapter::enqueue_bulk(q, h, v, n);
+  }
+  std::size_t dequeue_bulk(u64* out, std::size_t n) {
+    return Adapter::dequeue_bulk(q, h, out, n);
+  }
+};
+
 // Per-workload loops. Each returns the number of operations it executed;
 // `my_ops` is the exact quota this worker was assigned (measure_point spreads
 // the p.ops % threads remainder instead of dropping it).
 template <typename Adapter>
-u64 worker_body(typename Adapter::Queue& q, const BenchParams& p, u64 my_ops,
+u64 worker_body(OpsCtx<Adapter>& ops, const BenchParams& p, u64 my_ops,
                 unsigned thread_index, unsigned run) {
   // Mix the run index into the seed so repeated runs of one point do not
   // replay identical coin-flip/delay sequences (which made the run-to-run
@@ -96,7 +164,7 @@ u64 worker_body(typename Adapter::Queue& q, const BenchParams& p, u64 my_ops,
   u64 enq_buf[BenchParams::kMaxBatch];
   u64 deq_buf[BenchParams::kMaxBatch];
   for (u64 i = 0; i < batch; ++i) enq_buf[i] = payload;
-  constexpr bool kBulk = AdapterHasBulk<Adapter>::value;
+  constexpr bool kBulk = OpsCtx<Adapter>::kBulk;
 
   u64 executed = 0;
   switch (p.workload) {
@@ -117,13 +185,13 @@ u64 worker_body(typename Adapter::Queue& q, const BenchParams& p, u64 my_ops,
         // executed ops.
         u64 outstanding = 0;
         for (; batch > 1 && i + 2 * batch <= my_ops; i += 2 * batch) {
-          outstanding += Adapter::enqueue_bulk(q, enq_buf, batch);
+          outstanding += ops.enqueue_bulk(enq_buf, batch);
           const u64 span = outstanding < batch ? outstanding : batch;
-          const u64 got = span > 0 ? Adapter::dequeue_bulk(q, deq_buf, span) : 0;
+          const u64 got = span > 0 ? ops.dequeue_bulk(deq_buf, span) : 0;
           outstanding -= got < outstanding ? got : outstanding;
           executed += batch + span;
           while (outstanding >= 2 * batch) {
-            const u64 g2 = Adapter::dequeue_bulk(q, deq_buf, batch);
+            const u64 g2 = ops.dequeue_bulk(deq_buf, batch);
             executed += batch;
             if (g2 == 0) break;
             outstanding -= g2 < outstanding ? g2 : outstanding;
@@ -131,13 +199,13 @@ u64 worker_body(typename Adapter::Queue& q, const BenchParams& p, u64 my_ops,
         }
       }
       for (; i + 1 < my_ops; i += 2) {
-        while (!Adapter::enqueue(q, payload)) cpu_relax();
+        while (!ops.enqueue(payload)) cpu_relax();
         u64 out;
-        (void)Adapter::dequeue(q, out);
+        (void)ops.dequeue(out);
         executed += 2;
       }
       if (i < my_ops) {  // odd quota: the final op is a lone enqueue
-        while (!Adapter::enqueue(q, payload)) cpu_relax();
+        while (!ops.enqueue(payload)) cpu_relax();
         executed += 1;
       }
       break;
@@ -148,9 +216,9 @@ u64 worker_body(typename Adapter::Queue& q, const BenchParams& p, u64 my_ops,
         if constexpr (kBulk) {
           if (span > 1) {
             if (rng.coin()) {
-              (void)Adapter::enqueue_bulk(q, enq_buf, span);  // full = attempt
+              (void)ops.enqueue_bulk(enq_buf, span);  // full = attempt
             } else {
-              (void)Adapter::dequeue_bulk(q, deq_buf, span);
+              (void)ops.dequeue_bulk(deq_buf, span);
             }
             executed += span;
             i += span;
@@ -158,10 +226,10 @@ u64 worker_body(typename Adapter::Queue& q, const BenchParams& p, u64 my_ops,
           }
         }
         if (rng.coin()) {
-          (void)Adapter::enqueue(q, payload);  // full counts as an attempt
+          (void)ops.enqueue(payload);  // full counts as an attempt
         } else {
           u64 out;
-          (void)Adapter::dequeue(q, out);
+          (void)ops.dequeue(out);
         }
         ++executed;
         ++i;
@@ -173,14 +241,14 @@ u64 worker_body(typename Adapter::Queue& q, const BenchParams& p, u64 my_ops,
         const u64 span = batch < my_ops - i ? batch : my_ops - i;
         if constexpr (kBulk) {
           if (span > 1) {
-            (void)Adapter::dequeue_bulk(q, deq_buf, span);
+            (void)ops.dequeue_bulk(deq_buf, span);
             executed += span;
             i += span;
             continue;
           }
         }
         u64 out;
-        (void)Adapter::dequeue(q, out);
+        (void)ops.dequeue(out);
         ++executed;
         ++i;
       }
@@ -191,10 +259,10 @@ u64 worker_body(typename Adapter::Queue& q, const BenchParams& p, u64 my_ops,
       // individual operations are the point of the Fig 10 configuration.
       for (u64 i = 0; i < my_ops; ++i) {
         if (rng.coin()) {
-          (void)Adapter::enqueue(q, payload);
+          (void)ops.enqueue(payload);
         } else {
           u64 out;
-          (void)Adapter::dequeue(q, out);
+          (void)ops.dequeue(out);
         }
         ++executed;
         tiny_random_delay(rng, p.max_delay_spins);
@@ -213,12 +281,12 @@ u64 worker_body(typename Adapter::Queue& q, const BenchParams& p, u64 my_ops,
         const u64 eb = batch < my_ops - i ? batch : my_ops - i;
         if constexpr (kBulk) {
           if (eb > 1) {
-            outstanding += Adapter::enqueue_bulk(q, enq_buf, eb);
-          } else if (Adapter::enqueue(q, payload)) {
+            outstanding += ops.enqueue_bulk(enq_buf, eb);
+          } else if (ops.enqueue(payload)) {
             ++outstanding;
           }
         } else {
-          for (u64 k = 0; k < eb; ++k) (void)Adapter::enqueue(q, payload);
+          for (u64 k = 0; k < eb; ++k) (void)ops.enqueue(payload);
         }
         executed += eb;
         i += eb;
@@ -227,23 +295,23 @@ u64 worker_body(typename Adapter::Queue& q, const BenchParams& p, u64 my_ops,
         if constexpr (kBulk) {
           u64 got = 0;
           if (db > 1) {
-            got = Adapter::dequeue_bulk(q, deq_buf, db);
+            got = ops.dequeue_bulk(deq_buf, db);
           } else {
             u64 out;
-            got = Adapter::dequeue(q, out) ? 1 : 0;
+            got = ops.dequeue(out) ? 1 : 0;
           }
           outstanding -= got < outstanding ? got : outstanding;
         } else {
           for (u64 k = 0; k < db; ++k) {
             u64 out;
-            (void)Adapter::dequeue(q, out);
+            (void)ops.dequeue(out);
           }
         }
         executed += db;
         i += db;
         if constexpr (kBulk) {
           while (outstanding >= 4 * batch) {
-            const u64 g2 = Adapter::dequeue_bulk(q, deq_buf, batch);
+            const u64 g2 = ops.dequeue_bulk(deq_buf, batch);
             executed += batch;
             if (g2 == 0) break;  // consumed elsewhere: no occupancy risk
             outstanding -= g2 < outstanding ? g2 : outstanding;
@@ -267,7 +335,7 @@ PointResult measure_point(const BenchParams& p, unsigned threads) {
   PointResult result;
   result.threads = threads;
   std::vector<double> mops_samples, live_samples, peak_samples, rss_samples,
-      alloc_samples, faa_samples, thld_samples;
+      alloc_samples, faa_samples, thld_samples, reg_samples;
   mops_samples.reserve(p.runs);
   live_samples.reserve(p.runs);
   peak_samples.reserve(p.runs);
@@ -275,6 +343,7 @@ PointResult measure_point(const BenchParams& p, unsigned threads) {
   alloc_samples.reserve(p.runs);
   faa_samples.reserve(p.runs);
   thld_samples.reserve(p.runs);
+  reg_samples.reserve(p.runs);
 
   for (unsigned run = 0; run < p.runs; ++run) {
     alloc_meter::reset_peak();
@@ -289,20 +358,26 @@ PointResult measure_point(const BenchParams& p, unsigned threads) {
     const u64 per_thread = p.ops / threads;
     const u64 remainder = p.ops % threads;
     std::vector<u64> executed(threads, 0);
-    std::vector<u64> faa_delta(threads, 0), thld_delta(threads, 0);
+    std::vector<u64> faa_delta(threads, 0), thld_delta(threads, 0),
+        reg_delta(threads, 0);
     std::vector<std::thread> ts;
     ts.reserve(threads);
     for (unsigned t = 0; t < threads; ++t) {
       ts.emplace_back([&, t] {
         if (p.pin) pin_thread(t);
         const u64 my_ops = per_thread + (t < remainder ? 1 : 0);
+        // Session attach (handle adapters) happens here, outside the
+        // measured window and the counter snapshots: a pool worker pays it
+        // once per worker lifetime, not per operation.
+        detail::OpsCtx<Adapter> ops(*q);
         ready.fetch_add(1, std::memory_order_acq_rel);
         while (!go.load(std::memory_order_acquire)) cpu_relax();
         const opcount::Counters before = opcount::snapshot();
-        executed[t] = detail::worker_body<Adapter>(*q, p, my_ops, t, run);
+        executed[t] = detail::worker_body<Adapter>(ops, p, my_ops, t, run);
         const opcount::Counters after = opcount::snapshot();
         faa_delta[t] = after.faa - before.faa;
         thld_delta[t] = after.threshold - before.threshold;
+        reg_delta[t] = after.registry - before.registry;
       });
     }
     while (ready.load(std::memory_order_acquire) < threads) cpu_relax();
@@ -316,12 +391,14 @@ PointResult measure_point(const BenchParams& p, unsigned threads) {
     for (const u64 e : executed) total_ops += e;
     mops_samples.push_back(static_cast<double>(total_ops) / secs / 1e6);
 
-    u64 total_faa = 0, total_thld = 0;
+    u64 total_faa = 0, total_thld = 0, total_reg = 0;
     for (const u64 f : faa_delta) total_faa += f;
     for (const u64 d : thld_delta) total_thld += d;
+    for (const u64 r : reg_delta) total_reg += r;
     const double ops_norm = total_ops > 0 ? static_cast<double>(total_ops) : 1.0;
     faa_samples.push_back(static_cast<double>(total_faa) / ops_norm);
     thld_samples.push_back(static_cast<double>(total_thld) / ops_norm);
+    reg_samples.push_back(static_cast<double>(total_reg) / ops_norm);
 
     live_samples.push_back(
         static_cast<double>(alloc_meter::live_bytes() - live_before));
@@ -339,6 +416,7 @@ PointResult measure_point(const BenchParams& p, unsigned threads) {
   result.allocs = summarize(alloc_samples);
   result.ring_faa = summarize(faa_samples);
   result.ring_thld = summarize(thld_samples);
+  result.registry = summarize(reg_samples);
   return result;
 }
 

@@ -102,6 +102,25 @@ void print_ringops_table(const std::vector<Series>& series,
   }
 }
 
+void print_registry_table(const std::vector<Series>& series,
+                          const std::vector<unsigned>& threads) {
+  std::printf("threads");
+  for (const auto& s : series) std::printf(",%s", s.name.c_str());
+  std::printf("   (registry/thread_local lookups per op)\n");
+  for (unsigned t : threads) {
+    std::printf("%7u", t);
+    for (const auto& s : series) {
+      const PointResult* pt = find_point(s, t);
+      if (pt != nullptr) {
+        std::printf(",%.3f", pt->registry.mean);
+      } else {
+        std::printf(",-");
+      }
+    }
+    std::printf("\n");
+  }
+}
+
 void print_cv_note(const std::vector<Series>& series) {
   double worst = 0.0;
   for (const auto& s : series) {
@@ -152,10 +171,11 @@ bool JsonReport::write(const std::string& path) const {
                      "\"mops_cv\": %.6f, \"live_bytes_mean\": %.1f, "
                      "\"peak_bytes_mean\": %.1f, \"rss_bytes_mean\": %.1f, "
                      "\"allocs_mean\": %.1f, \"ring_faa_per_op_mean\": %.6f, "
-                     "\"ring_thld_per_op_mean\": %.6f}%s\n",
+                     "\"ring_thld_per_op_mean\": %.6f, "
+                     "\"registry_per_op_mean\": %.6f}%s\n",
                      pt.threads, pt.mops.mean, pt.mops.cv, pt.live_bytes.mean,
                      pt.peak_bytes.mean, pt.rss_bytes.mean, pt.allocs.mean,
-                     pt.ring_faa.mean, pt.ring_thld.mean,
+                     pt.ring_faa.mean, pt.ring_thld.mean, pt.registry.mean,
                      qi + 1 < s.points.size() ? "," : "");
       }
       std::fprintf(f, "      ]}%s\n",

@@ -32,6 +32,12 @@ void print_allocation_table(const std::vector<Series>& series,
 // meaningful on the 1-core CI host.
 void print_ringops_table(const std::vector<Series>& series,
                          const std::vector<unsigned>& threads);
+// ThreadRegistry tid()/high_water() lookups per executed operation: the
+// session-handle metric (DESIGN.md §10). Implicit APIs resolve the
+// thread_local tid once per op (~1); explicit handles only pay the
+// amortized help-check refresh (~1/HELP_DELAY).
+void print_registry_table(const std::vector<Series>& series,
+                          const std::vector<unsigned>& threads);
 void print_cv_note(const std::vector<Series>& series);
 
 // Machine-readable run report: drivers add one panel per table they print

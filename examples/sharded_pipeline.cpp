@@ -1,5 +1,13 @@
 // sharded_pipeline — a two-stage data pipeline on the sharded front-end
-// (src/scale/sharded_queue.hpp).
+// (src/scale/sharded_queue.hpp), written against the explicit-handle API
+// (DESIGN.md §10) as the usage reference for it.
+//
+// Each stage worker acquires one session handle for its lifetime —
+// `queue.acquire()` — and every operation takes it: the handle caches the
+// worker's home shard and its per-shard ring/magazine sessions, so the hot
+// loop performs no registry or thread_local lookups at all (the implicit
+// API would resolve the thread_local tid once per call; see the README
+// migration table).
 //
 // Stage 1 threads produce work items in batches (enqueue_bulk amortizes the
 // ring traffic), stage 2 threads drain in batches and fold a checksum.
@@ -36,6 +44,8 @@ int main() {
   std::vector<std::thread> threads;
   for (unsigned p = 0; p < kProducers; ++p) {
     threads.emplace_back([&, p] {
+      // One session per worker lifetime; every queue call below takes it.
+      auto handle = queue.acquire();
       Backoff bo;
       u64 buf[kBatch];
       u64 next = 0;
@@ -50,7 +60,8 @@ int main() {
         std::size_t sent = 0;
         bo.reset();
         while (sent < span) {
-          const std::size_t got = queue.enqueue_bulk(buf + sent, span - sent);
+          const std::size_t got =
+              queue.enqueue_bulk(handle, buf + sent, span - sent);
           if (got == 0) {
             bo.pause();  // every shard full: wait for stage 2
           } else {
@@ -62,16 +73,19 @@ int main() {
         produced.fetch_add(span, std::memory_order_relaxed);
       }
       producers_live.fetch_sub(1, std::memory_order_release);
+      // The handle is destroyed here, before the queue: session state
+      // (cached free indices) flushes back to the shards.
     });
   }
   for (unsigned c = 0; c < kConsumers; ++c) {
     threads.emplace_back([&] {
+      auto handle = queue.acquire();
       Backoff bo;
       u64 buf[kBatch];
       u64 local_sum = 0;
       u64 local_n = 0;
       for (;;) {
-        const std::size_t got = queue.dequeue_bulk(buf, kBatch);
+        const std::size_t got = queue.dequeue_bulk(handle, buf, kBatch);
         if (got > 0) {
           for (std::size_t k = 0; k < got; ++k) local_sum += buf[k];
           local_n += got;
@@ -82,7 +96,7 @@ int main() {
         // and a final authoritative probe still finds nothing. The probe may
         // itself land an element — fold it in, never drop it.
         if (producers_live.load(std::memory_order_acquire) == 0) {
-          if (auto v = queue.dequeue()) {
+          if (auto v = queue.dequeue(handle)) {
             local_sum += *v;
             ++local_n;
             bo.reset();

@@ -6,10 +6,16 @@
 // amortize the fq half away; these counters make that claim *measurable* on
 // hosts where wall-clock throughput is noise (the 1-core CI runner).
 //
-// Two counters, incremented at the RMW sites inside the rings:
+// Three counters, incremented at the sites inside the rings and registry:
 //   faa       — F&A (or the slow path's published-increment CAS2) on a
 //               shared Head/Tail counter line
 //   threshold — RMW/store traffic on a shared Threshold line
+//   registry  — ThreadRegistry::tid()/high_water() resolutions, i.e. the
+//               thread_local/global-registry lookups the per-thread session
+//               handles (DESIGN.md §10) exist to hoist off the hot path.
+//               Counted inside the registry itself so every layer's lookup
+//               is captured; the handle CI gate (bench/check_ringops.py)
+//               requires the explicit-handle path to stay ≤ 1 per op.
 //
 // The counters are plain thread-local increments (one add on a core-private
 // line, no atomics), cheap enough to keep unconditionally enabled; the bench
@@ -23,12 +29,14 @@ namespace wcq::opcount {
 struct Counters {
   std::uint64_t faa = 0;
   std::uint64_t threshold = 0;
+  std::uint64_t registry = 0;
 };
 
 extern thread_local Counters tl_counters;
 
 inline void count_faa() { ++tl_counters.faa; }
 inline void count_threshold() { ++tl_counters.threshold; }
+inline void count_registry() { ++tl_counters.registry; }
 
 // Snapshot of this thread's counters (diff two snapshots around a workload).
 inline Counters snapshot() { return tl_counters; }

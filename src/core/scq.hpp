@@ -14,6 +14,7 @@
 #pragma once
 
 #include <atomic>
+#include <cstddef>
 #include <optional>
 
 #include "common/align.hpp"
@@ -26,6 +27,13 @@ namespace wcq {
 
 class SCQ {
  public:
+  // Session handle (DESIGN.md §10). SCQ keeps no per-thread state — no
+  // thread records, no registry use — so its handle is empty; it exists so
+  // the Fig 2 layers can thread one handle type through any Ring uniformly.
+  struct Handle {};
+
+  Handle handle() { return Handle{}; }
+  Handle handle_for(unsigned /*tid*/) { return Handle{}; }
   // `order`: capacity = 2^order indices; the ring allocates 2^(order+1)
   // slots. The paper's benchmark configuration is order 15 (2^16 slots).
   explicit SCQ(unsigned order, bool cache_remap = true)
@@ -75,6 +83,64 @@ class SCQ {
     }
   }
 
+  // Handle overloads: SCQ's handle is stateless, so these forward. They give
+  // BoundedQueue one call shape across all Ring parameters.
+  void enqueue(Handle&, u64 index) { enqueue(index); }
+  std::optional<u64> dequeue(Handle&) { return dequeue(); }
+  void enqueue_bulk(Handle&, const u64* indices, std::size_t n) {
+    enqueue_bulk(indices, n);
+  }
+  std::size_t dequeue_bulk(Handle&, u64* out, std::size_t n) {
+    return dequeue_bulk(out, n);
+  }
+
+  // Batch insert (DESIGN.md §7, the BasicWCQ contract): all `n` indices are
+  // inserted. One Tail F&A reserves n consecutive ranks and the threshold is
+  // re-armed once for the whole span; a rank whose slot is unusable is
+  // abandoned (exactly as a failed try_enq abandons its rank) and the
+  // affected indices fall back to the single-op path. Deferring the re-arm
+  // is safe for the same reason as in BasicWCQ: the bulk call has not
+  // returned, so a dequeuer reading the stale negative threshold linearizes
+  // its "empty" before these enqueues.
+  void enqueue_bulk(const u64* indices, std::size_t n) {
+    if (n == 0) return;
+    if (n == 1) return enqueue(indices[0]);
+    const u64 base = tail_.value.fetch_add(n, std::memory_order_seq_cst);
+    opcount::count_faa();
+    std::size_t done = 0;
+    for (std::size_t k = 0; k < n && done < n; ++k) {
+      if (enq_at(base + k, indices[done], /*reset_thld=*/false)) ++done;
+    }
+    reset_threshold();  // one re-arm for the whole span
+    for (; done < n; ++done) enqueue(indices[done]);
+  }
+
+  // Batch remove (DESIGN.md §7): pops up to `n` indices into `out` with one
+  // Head F&A for the whole span. Returns the number actually dequeued; fewer
+  // than n does not imply emptiness (a rank can be contended away, the same
+  // transient a single-op retry absorbs) — partial success is the batch
+  // contract. Every reserved rank is processed (see deq_at).
+  std::size_t dequeue_bulk(u64* out, std::size_t n) {
+    if (n == 0) return 0;
+    if (threshold_.value.load(std::memory_order_acquire) < 0) {
+      return 0;  // empty fast-exit, no ranks burned
+    }
+    if (n == 1) {
+      const auto v = dequeue();
+      if (!v) return 0;
+      out[0] = *v;
+      return 1;
+    }
+    const u64 base = head_.value.fetch_add(n, std::memory_order_seq_cst);
+    opcount::count_faa();
+    std::size_t got = 0;
+    for (std::size_t k = 0; k < n; ++k) {
+      u64 idx;
+      if (deq_at(base + k, idx) == DeqStatus::kOk) out[got++] = idx;
+    }
+    return got;
+  }
+
   // Re-initialize the ring to its freshly-constructed (empty) state so it can
   // be reused, e.g. by a recycled UnboundedQueue segment (DESIGN.md §8).
   //
@@ -112,6 +178,12 @@ class SCQ {
     const u64 t = tail_.value.fetch_add(1, std::memory_order_seq_cst);
     opcount::count_faa();
     tail_out = t;
+    return enq_at(t, index, /*reset_thld=*/true);
+  }
+
+  // Process one already-reserved tail rank (single-op and bulk paths share
+  // this; bulk spans defer the threshold re-arm to the end of the span).
+  bool enq_at(u64 t, u64 index, bool reset_thld) {
     const u64 j = remap_(codec_.pos_of(t));
     const u64 cycle_t = codec_.cycle_of(t);
     u64 raw = entries_[j].load(std::memory_order_acquire);
@@ -125,14 +197,17 @@ class SCQ {
                                                  std::memory_order_seq_cst)) {
           continue;  // Fig 3 line 25: re-check with the observed entry
         }
-        if (threshold_.value.load(std::memory_order_seq_cst) !=
-            threshold_max()) {
-          threshold_.value.store(threshold_max(), std::memory_order_seq_cst);
-          opcount::count_threshold();
-        }
+        if (reset_thld) reset_threshold();
         return true;
       }
       return false;
+    }
+  }
+
+  void reset_threshold() {
+    if (threshold_.value.load(std::memory_order_seq_cst) != threshold_max()) {
+      threshold_.value.store(threshold_max(), std::memory_order_seq_cst);
+      opcount::count_threshold();
     }
   }
 
@@ -140,6 +215,14 @@ class SCQ {
   DeqStatus try_deq(u64& index_out) {
     const u64 h = head_.value.fetch_add(1, std::memory_order_seq_cst);
     opcount::count_faa();
+    return deq_at(h, index_out);
+  }
+
+  // Process one already-reserved head rank. As in BasicWCQ::deq_at, every
+  // reserved rank MUST pass through here: a claimed rank whose slot holds a
+  // cycle-matching element is the only dequeuer that will ever consume it,
+  // so abandoning a reservation would leak the element forever.
+  DeqStatus deq_at(u64 h, u64& index_out) {
     const u64 j = remap_(codec_.pos_of(h));
     const u64 cycle_h = codec_.cycle_of(h);
     u64 raw = entries_[j].load(std::memory_order_acquire);

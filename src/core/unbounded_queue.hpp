@@ -31,6 +31,8 @@
 
 #include <atomic>
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 #include <new>
 #include <optional>
 #include <utility>
@@ -48,6 +50,63 @@ namespace wcq {
 template <typename T, typename Ring = WCQ>
 class UnboundedQueue {
  public:
+  // Per-thread session (DESIGN.md §10): the dense tid plus this queue's
+  // hazard-slot row for it, resolved once. Segment-level ring/magazine
+  // state cannot be cached here — segments come and go — so the handle
+  // carries the tid and each segment rebuilds its BoundedQueue view from it
+  // by pure arithmetic (zero registry lookups). Owned handles participate
+  // in the same lifetime check as BoundedQueue's: destroying the queue with
+  // live owned handles aborts with a diagnostic. Unlike BoundedQueue's
+  // handle, release does NOT flush segment magazines (that would need a
+  // hazard-protected walk of a list the session no longer operates on);
+  // segment magazines flush at thread exit via the registry hook, and the
+  // full-edge reclaim sweep keeps cached indices from wedging a segment's
+  // finalize in the meantime (DESIGN.md §9).
+  class Handle {
+   public:
+    Handle() = default;
+    Handle(Handle&& o) noexcept
+        : q_(o.q_), tid_(o.tid_), hp_row_(o.hp_row_), owned_(o.owned_) {
+      o.q_ = nullptr;
+      o.owned_ = false;
+    }
+    Handle& operator=(Handle&& o) noexcept {
+      if (this != &o) {
+        release();
+        q_ = o.q_;
+        tid_ = o.tid_;
+        hp_row_ = o.hp_row_;
+        owned_ = o.owned_;
+        o.q_ = nullptr;
+        o.owned_ = false;
+      }
+      return *this;
+    }
+    Handle(const Handle&) = delete;
+    Handle& operator=(const Handle&) = delete;
+    ~Handle() { release(); }
+
+    unsigned tid() const { return tid_; }
+
+   private:
+    friend class UnboundedQueue;
+    Handle(UnboundedQueue* q, unsigned tid, bool owned)
+        : q_(q), tid_(tid), hp_row_(q->hp_.slots_for(tid)), owned_(owned) {}
+
+    void release() {
+      if (owned_ && q_ != nullptr) {
+        q_->live_handles_.fetch_sub(1, std::memory_order_acq_rel);
+      }
+      q_ = nullptr;
+      owned_ = false;
+    }
+
+    UnboundedQueue* q_ = nullptr;
+    unsigned tid_ = 0;
+    HazardDomain::ThreadSlots* hp_row_ = nullptr;
+    bool owned_ = false;
+  };
+
   struct Options {
     // Each segment holds 2^segment_order elements (default: 1024).
     unsigned segment_order = 10;
@@ -82,6 +141,14 @@ class UnboundedQueue {
       : UnboundedQueue(Options{.segment_order = segment_order}) {}
 
   ~UnboundedQueue() {
+    const int live = live_handles_.load(std::memory_order_acquire);
+    if (live != 0) {
+      std::fprintf(stderr,
+                   "wcq: UnboundedQueue destroyed with %d live session "
+                   "handle(s); destroy handles before their queue\n",
+                   live);
+      std::abort();
+    }
     // Quiescent by contract. Flush pending retirements first (they recycle
     // into — or bypass — the pool via recycle_cb, which must still find the
     // queue alive), then free the linked list, then the parked segments.
@@ -98,13 +165,29 @@ class UnboundedQueue {
   UnboundedQueue(const UnboundedQueue&) = delete;
   UnboundedQueue& operator=(const UnboundedQueue&) = delete;
 
+  // Owned per-thread session (one registry lookup; see Handle).
+  Handle acquire() {
+    live_handles_.fetch_add(1, std::memory_order_acq_rel);
+    return Handle(this, ThreadRegistry::tid(), /*owned=*/true);
+  }
+
+  // Unowned per-op view for a known tid (composed layers, implicit path).
+  Handle handle_for(unsigned tid) {
+    return Handle(this, tid, /*owned=*/false);
+  }
+
   // Never fails (appends a ring when the last one fills/finalizes; the ring
   // comes from the segment pool when one is parked there). The payload moves
   // down the whole chain (Segment::enqueue → BoundedQueue::enqueue_movable):
   // the old const& chain copied it twice per operation.
   bool enqueue(T value) {
+    Handle h = handle_for(ThreadRegistry::tid());
+    return enqueue(h, std::move(value));
+  }
+
+  bool enqueue(Handle& h, T value) {
     for (;;) {
-      Segment* ltail = hp_.protect(0, tail_.value);
+      Segment* ltail = HazardDomain::protect(*h.hp_row_, 0, tail_.value);
       Segment* next = ltail->next.load(std::memory_order_acquire);
       if (next != nullptr) {
         // Outer tail lags; help swing it (Fig 13 lines 24-27).
@@ -112,42 +195,47 @@ class UnboundedQueue {
                                             std::memory_order_seq_cst);
         continue;
       }
-      if (ltail->enqueue(value)) {
-        hp_.clear(0);
+      if (ltail->enqueue(h.tid_, value)) {
+        HazardDomain::clear(*h.hp_row_, 0);
         return true;
       }
       // Ring full: it is now finalized; append a fresh ring seeded with the
       // value (Fig 13 lines 7-8, 21-23).
       Segment* fresh = acquire_segment();
-      (void)fresh->enqueue(value);  // empty open ring: cannot fail
+      (void)fresh->enqueue(h.tid_, value);  // empty open ring: cannot fail
       Segment* expected = nullptr;
       if (ltail->next.compare_exchange_strong(expected, fresh,
                                               std::memory_order_seq_cst)) {
         tail_.value.compare_exchange_strong(ltail, fresh,
                                             std::memory_order_seq_cst);
-        hp_.clear(0);
+        HazardDomain::clear(*h.hp_row_, 0);
         return true;
       }
       // Somebody appended first; take the seeded element back (we own fresh
       // exclusively, so this dequeue cannot fail) and retry there. With the
       // moving chain the element lives in fresh now — the old copying chain
       // could just drop the segment's copy.
-      value = std::move(*fresh->dequeue());
+      value = std::move(*fresh->dequeue(h.tid_));
       release_segment(fresh);
     }
   }
 
   std::optional<T> dequeue() {
+    Handle h = handle_for(ThreadRegistry::tid());
+    return dequeue(h);
+  }
+
+  std::optional<T> dequeue(Handle& h) {
     Backoff bo;
     for (;;) {
-      Segment* lhead = hp_.protect(0, head_.value);
-      if (auto v = lhead->dequeue()) {
-        hp_.clear(0);
+      Segment* lhead = HazardDomain::protect(*h.hp_row_, 0, head_.value);
+      if (auto v = lhead->dequeue(h.tid_)) {
+        HazardDomain::clear(*h.hp_row_, 0);
         return v;
       }
       Segment* next = lhead->next.load(std::memory_order_acquire);
       if (next == nullptr) {
-        hp_.clear(0);
+        HazardDomain::clear(*h.hp_row_, 0);
         return std::nullopt;  // no successor: the queue is empty
       }
       // A successor exists, so lhead is finalized. It may only be unlinked
@@ -159,15 +247,15 @@ class UnboundedQueue {
         bo.pause();
         continue;
       }
-      if (auto v = lhead->dequeue()) {  // drained-check must re-validate
-        hp_.clear(0);
+      if (auto v = lhead->dequeue(h.tid_)) {  // drained-check must re-validate
+        HazardDomain::clear(*h.hp_row_, 0);
         return v;
       }
       Segment* expected = lhead;
       if (head_.value.compare_exchange_strong(expected, next,
                                               std::memory_order_seq_cst)) {
-        hp_.clear(0);
-        hp_.retire(lhead, &UnboundedQueue::recycle_cb, this);
+        HazardDomain::clear(*h.hp_row_, 0);
+        hp_.retire(h.tid_, lhead, &UnboundedQueue::recycle_cb, this);
       }
     }
   }
@@ -252,14 +340,18 @@ class UnboundedQueue {
     // False once the segment is full: the segment finalizes and no enqueue
     // will ever succeed on it again (so FIFO order across segments holds).
     // On success `v` is moved-from; on failure it is left intact (the
-    // enqueue_movable contract), so the caller can retarget it.
-    bool enqueue(T& v) {
+    // enqueue_movable contract), so the caller can retarget it. The caller's
+    // session tid threads through: the segment rebuilds its BoundedQueue
+    // view from it by arithmetic (DESIGN.md §10), so segment churn costs no
+    // registry lookups.
+    bool enqueue(unsigned tid, T& v) {
       in_flight.fetch_add(1, std::memory_order_seq_cst);
       if (finalized.load(std::memory_order_seq_cst)) {
         in_flight.fetch_sub(1, std::memory_order_seq_cst);
         return false;
       }
-      const bool ok = queue.enqueue_movable(v);
+      auto bh = queue.handle_for(tid);
+      const bool ok = queue.enqueue_movable(bh, v);
       if (!ok) {
         finalized.store(true, std::memory_order_seq_cst);
       }
@@ -267,7 +359,10 @@ class UnboundedQueue {
       return ok;
     }
 
-    std::optional<T> dequeue() { return queue.dequeue(); }
+    std::optional<T> dequeue(unsigned tid) {
+      auto bh = queue.handle_for(tid);
+      return queue.dequeue(bh);
+    }
 
     // True when no enqueuer can still add an element to this segment.
     bool quiescent() const {
@@ -332,6 +427,7 @@ class UnboundedQueue {
   mutable HazardDomain hp_;
   alignas(kDestructiveRange) CacheAligned<std::atomic<Segment*>> head_;
   alignas(kDestructiveRange) CacheAligned<std::atomic<Segment*>> tail_;
+  std::atomic<int> live_handles_{0};
 };
 
 }  // namespace wcq

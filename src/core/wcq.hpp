@@ -78,6 +78,9 @@ struct Cas2EntryOps {
 
 template <typename EntryOps>
 class BasicWCQ {
+ private:
+  struct ThreadRec;  // defined below; named here so Handle can hold one
+
  public:
   struct Options {
     unsigned order = 15;        // capacity 2^order; ring allocates 2^(order+1)
@@ -86,6 +89,27 @@ class BasicWCQ {
     int deq_patience = 64;      // paper §6: 64 for Dequeue
     unsigned help_delay = 16;   // Fig 6 HELP_DELAY
     bool cache_remap = true;
+  };
+
+  // Per-thread session handle (DESIGN.md §10): the dense registry tid plus
+  // this queue's thread record for it, resolved once instead of on every
+  // operation. Trivially copyable — it is two words of derived state, so a
+  // composed layer (BoundedQueue) can rebuild it from a tid with pure
+  // arithmetic. With the tid in hand the hot path touches no registry or
+  // thread_local state at all; the only remaining registry read is the
+  // help scan's high_water snapshot, taken once per HELP_DELAY operations
+  // when the periodic check fires (see help_threads). A handle is valid
+  // only while the queue is alive and only on the thread owning the tid.
+  class Handle {
+   public:
+    Handle() = default;
+    unsigned tid() const { return tid_; }
+
+   private:
+    friend class BasicWCQ;
+    Handle(unsigned tid, ThreadRec* rec) : tid_(tid), rec_(rec) {}
+    unsigned tid_ = 0;
+    ThreadRec* rec_ = nullptr;
   };
 
   explicit BasicWCQ(Options opt)
@@ -118,11 +142,32 @@ class BasicWCQ {
   u64 capacity() const { return codec_.half(); }
   u64 ring_size() const { return codec_.ring_size(); }
 
+  // Acquire a session for the calling thread (exactly one registry lookup).
+  Handle handle() { return handle_for(ThreadRegistry::tid()); }
+
+  // Build the session for a known dense tid: pure pointer arithmetic, no
+  // registry or thread_local access. Composed layers (BoundedQueue,
+  // UnboundedQueue segments) carry the tid in their own handles and rebuild
+  // ring sessions through this. Traps on a tid beyond max_threads — the
+  // same documented hard limit the implicit path enforces.
+  Handle handle_for(unsigned tid) {
+    if (tid >= opt_.max_threads) {
+      assert(false && "thread id exceeds WCQ max_threads");
+      __builtin_trap();
+    }
+    return Handle(tid, &records_[tid]);
+  }
+
   // Inserts `index` (< capacity()). The caller guarantees at most
   // capacity() live indices (Fig 2 indirection provides that). Wait-free.
   void enqueue(u64 index) {
-    ThreadRec& rec = my_record();
-    help_threads(rec);
+    Handle h = handle();
+    enqueue(h, index);
+  }
+
+  void enqueue(Handle& h, u64 index) {
+    ThreadRec& rec = *h.rec_;
+    help_threads(h);
     // == Fast path (SCQ) ==
     u64 tail = 0;
     for (int i = 0; i < opt_.enq_patience; ++i) {
@@ -136,7 +181,7 @@ class BasicWCQ {
     rec.is_enqueue.store(true, std::memory_order_release);
     rec.seq2.store(seq, std::memory_order_release);
     rec.pending.store(true, std::memory_order_release);
-    enqueue_slow(tail, index, rec, seq);
+    enqueue_slow(h, tail, index, rec, seq);
     // The element is inserted, but the inserting thread may have been a
     // helper that has not yet executed its Threshold reset (Fig 7 line 18
     // runs after the FIN that released us). Returning now would let a
@@ -152,15 +197,23 @@ class BasicWCQ {
   // Removes and returns the oldest index, or nullopt when empty. Wait-free.
   std::optional<u64> dequeue() {
     if (threshold_.value.load(std::memory_order_acquire) < 0) {
+      return std::nullopt;  // empty fast-exit (before paying for a session)
+    }
+    Handle h = handle();
+    return dequeue(h);
+  }
+
+  std::optional<u64> dequeue(Handle& sh) {
+    if (threshold_.value.load(std::memory_order_acquire) < 0) {
       return std::nullopt;  // empty fast-exit
     }
-    ThreadRec& rec = my_record();
-    help_threads(rec);
+    ThreadRec& rec = *sh.rec_;
+    help_threads(sh);
     // == Fast path (SCQ) ==
     u64 head = 0;
     for (int i = 0; i < opt_.deq_patience; ++i) {
       u64 index;
-      switch (try_deq(index, head)) {
+      switch (try_deq(sh, index, head)) {
         case DeqStatus::kOk:
           return index;
         case DeqStatus::kEmpty:
@@ -176,7 +229,7 @@ class BasicWCQ {
     rec.is_enqueue.store(false, std::memory_order_release);
     rec.seq2.store(seq, std::memory_order_release);
     rec.pending.store(true, std::memory_order_release);
-    dequeue_slow(head, rec, seq);
+    dequeue_slow(sh, head, rec, seq);
     rec.pending.store(false, std::memory_order_release);
     rec.seq1.store(seq + 1, std::memory_order_release);
     // Gather the slow-path result (Fig 5 lines 48-54): the final reservation
@@ -188,7 +241,7 @@ class BasicWCQ {
     if (e.cycle == codec_.cycle_of(h) && e.index != codec_.bottom()) {
       assert(e.index != codec_.bottom_c() && "slot consumed by non-owner");
       dbg(kEvGatherTaken, h, e.index);
-      consume(h, j, e);
+      consume(sh, h, j, e);
       return e.index;
     }
     dbg(kEvGatherEmpty, h);
@@ -204,9 +257,14 @@ class BasicWCQ {
   // batch.
   void enqueue_bulk(const u64* indices, std::size_t n) {
     if (n == 0) return;
-    if (n == 1) return enqueue(indices[0]);
-    ThreadRec& rec = my_record();
-    help_threads(rec);
+    Handle h = handle();
+    enqueue_bulk(h, indices, n);
+  }
+
+  void enqueue_bulk(Handle& h, const u64* indices, std::size_t n) {
+    if (n == 0) return;
+    if (n == 1) return enqueue(h, indices[0]);
+    help_threads(h);
     const u64 base = tail_.lo.fetch_add(n, std::memory_order_seq_cst);
     opcount::count_faa();
     std::size_t done = 0;
@@ -214,7 +272,7 @@ class BasicWCQ {
       if (enq_at(base + k, indices[done], /*reset_thld=*/false)) ++done;
     }
     reset_threshold();  // one re-arm for the whole span
-    for (; done < n; ++done) enqueue(indices[done]);
+    for (; done < n; ++done) enqueue(h, indices[done]);
   }
 
   // Batch remove (DESIGN.md §7): pops up to `n` indices into `out`, one Head
@@ -225,22 +283,30 @@ class BasicWCQ {
   std::size_t dequeue_bulk(u64* out, std::size_t n) {
     if (n == 0) return 0;
     if (threshold_.value.load(std::memory_order_acquire) < 0) {
+      return 0;  // empty fast-exit, no ranks burned (and no session paid)
+    }
+    Handle h = handle();
+    return dequeue_bulk(h, out, n);
+  }
+
+  std::size_t dequeue_bulk(Handle& h, u64* out, std::size_t n) {
+    if (n == 0) return 0;
+    if (threshold_.value.load(std::memory_order_acquire) < 0) {
       return 0;  // empty fast-exit, no ranks burned
     }
     if (n == 1) {
-      const auto v = dequeue();
+      const auto v = dequeue(h);
       if (!v) return 0;
       out[0] = *v;
       return 1;
     }
-    ThreadRec& rec = my_record();
-    help_threads(rec);
+    help_threads(h);
     const u64 base = head_.lo.fetch_add(n, std::memory_order_seq_cst);
     opcount::count_faa();
     std::size_t got = 0;
     for (std::size_t k = 0; k < n; ++k) {
       u64 idx;
-      if (deq_at(base + k, idx) == DeqStatus::kOk) out[got++] = idx;
+      if (deq_at(h, base + k, idx) == DeqStatus::kOk) out[got++] = idx;
     }
     return got;
   }
@@ -432,15 +498,6 @@ class BasicWCQ {
     return static_cast<u64>(&r - records_.data());
   }
 
-  ThreadRec& my_record() {
-    const unsigned tid = ThreadRegistry::tid();
-    if (tid >= opt_.max_threads) {
-      assert(false && "thread id exceeds WCQ max_threads");
-      __builtin_trap();
-    }
-    return records_[tid];
-  }
-
   unsigned n_records() const {
     const unsigned hw = ThreadRegistry::high_water();
     return hw < opt_.max_threads ? hw : opt_.max_threads;
@@ -453,6 +510,13 @@ class BasicWCQ {
     opcount::count_faa();
     tail_out = t;
     return enq_at(t, index, /*reset_thld=*/true);
+  }
+
+  DeqStatus try_deq(Handle& me, u64& index_out, u64& head_out) {
+    const u64 h = head_.lo.fetch_add(1, std::memory_order_seq_cst);
+    opcount::count_faa();
+    head_out = h;
+    return deq_at(me, h, index_out);
   }
 
   // Process one already-reserved tail rank. Batch enqueues reserve a span of
@@ -483,19 +547,12 @@ class BasicWCQ {
     }
   }
 
-  DeqStatus try_deq(u64& index_out, u64& head_out) {
-    const u64 h = head_.lo.fetch_add(1, std::memory_order_seq_cst);
-    opcount::count_faa();
-    head_out = h;
-    return deq_at(h, index_out);
-  }
-
   // Process one already-reserved head rank. Every reserved rank MUST pass
   // through here: a claimed rank whose slot holds a cycle-matching element is
   // the only dequeuer that will ever consume it (later cycles ⊥-mark or
   // unsafe-mark, never consume), so abandoning a reservation would leak the
   // element and its Fig 2 index forever.
-  DeqStatus deq_at(u64 h, u64& index_out) {
+  DeqStatus deq_at(Handle& me, u64 h, u64& index_out) {
     const u64 j = remap_(codec_.pos_of(h));
     const u64 cycle_h = codec_.cycle_of(h);
     u64 raw = entries_[j].lo.load(std::memory_order_acquire);
@@ -503,7 +560,7 @@ class BasicWCQ {
       const Entry e = codec_.unpack(raw);
       if (e.cycle == cycle_h) {
         assert(codec_.is_live_index(e.index) && "owner sees non-live index");
-        consume(h, j, e);
+        consume(me, h, j, e);
         index_out = e.index;
         return DeqStatus::kOk;
       }
@@ -582,16 +639,22 @@ class BasicWCQ {
 
   // ---- consume / finalize (Fig 5 lines 1-11) ------------------------------
 
-  void consume(u64 h, u64 j, const Entry& e) {
-    if (!e.enq) finalize_request(h);
+  void consume(Handle& me, u64 h, u64 j, const Entry& e) {
+    if (!e.enq) finalize_request(me, h);
     entries_[j].lo.fetch_or(codec_.consume_mask(), std::memory_order_seq_cst);
     dbg(kEvConsumed, h, e.index);
   }
 
   // An entry produced by a slow-path enqueuer (Enq=0) is being consumed:
   // terminate that enqueuer's helpers by setting FIN on its local tail.
-  void finalize_request(u64 h) {
-    const unsigned self = ThreadRegistry::tid();
+  // The scan bound is the *live* high_water — a session-cached snapshot is
+  // not safe here: missing the enqueuer's record would leave its helpers
+  // unterminated while the slot recycles, and they could re-produce the
+  // element at a later rank (a duplicate). This path runs only when an
+  // Enq=0 entry is consumed, i.e. once per slow-path enqueue, so the
+  // lookup does not register on the per-op budget.
+  void finalize_request(Handle& me, u64 h) {
+    const unsigned self = me.tid_;
     const unsigned n = n_records();
     for (unsigned step = 1; step < n; ++step) {
       const unsigned i = (self + step) % n;
@@ -608,23 +671,30 @@ class BasicWCQ {
 
   // ---- helping (Fig 6) -----------------------------------------------------
 
-  void help_threads(ThreadRec& me) {
-    if (--me.next_check != 0) return;
-    me.next_check = opt_.help_delay;
+  void help_threads(Handle& me) {
+    ThreadRec& rec = *me.rec_;
+    if (--rec.next_check != 0) return;
+    rec.next_check = opt_.help_delay;
+    // The high_water read happens only when the check fires, so the help
+    // scan's one registry lookup amortizes to 1/help_delay per operation —
+    // what keeps the explicit-handle path under the ≤1-lookup budget
+    // (DESIGN.md §10). A snapshot taken here may miss a thread that
+    // registers mid-window; it is seen one help_delay window later, a
+    // bounded delay, so the helping bound is preserved.
     const unsigned n = n_records();
-    if (me.next_tid >= n) me.next_tid = 0;
-    ThreadRec& thr = records_[me.next_tid];
-    if (&thr != &me && thr.pending.load(std::memory_order_acquire)) {
+    if (rec.next_tid >= n) rec.next_tid = 0;
+    ThreadRec& thr = records_[rec.next_tid];
+    if (&thr != &rec && thr.pending.load(std::memory_order_acquire)) {
       if (thr.is_enqueue.load(std::memory_order_acquire)) {
-        help_enqueue(thr);
+        help_enqueue(me, thr);
       } else {
-        help_dequeue(thr);
+        help_dequeue(me, thr);
       }
     }
-    me.next_tid = (me.next_tid + 1) % n;
+    rec.next_tid = (rec.next_tid + 1) % n;
   }
 
-  void help_enqueue(ThreadRec& thr) {
+  void help_enqueue(Handle& me, ThreadRec& thr) {
     const u64 seq = thr.seq2.load(std::memory_order_acquire);
     const bool enq = thr.is_enqueue.load(std::memory_order_acquire);
     const u64 idx = thr.index.load(std::memory_order_acquire);
@@ -632,32 +702,32 @@ class BasicWCQ {
     // seq1 is read after the fields (acquire loads keep program order for
     // later loads); equality proves the fields belong to generation `seq`.
     if (enq && thr.seq1.load(std::memory_order_acquire) == seq) {
-      enqueue_slow(tail, idx, thr, seq);
+      enqueue_slow(me, tail, idx, thr, seq);
     }
   }
 
-  void help_dequeue(ThreadRec& thr) {
+  void help_dequeue(Handle& me, ThreadRec& thr) {
     const u64 seq = thr.seq2.load(std::memory_order_acquire);
     const bool enq = thr.is_enqueue.load(std::memory_order_acquire);
     const u64 head = thr.init_head.load(std::memory_order_acquire);
     if (!enq && thr.seq1.load(std::memory_order_acquire) == seq) {
-      dequeue_slow(head, thr, seq);
+      dequeue_slow(me, head, thr, seq);
     }
   }
 
   // ---- slow path (Fig 7) ---------------------------------------------------
 
-  void enqueue_slow(u64 t, u64 index, ThreadRec& rec, u64 seq) {
+  void enqueue_slow(Handle& me, u64 t, u64 index, ThreadRec& rec, u64 seq) {
     u64 v = t;
-    while (slow_faa(tail_, rec.local_tail, v, /*thld=*/nullptr, rec, seq,
+    while (slow_faa(me, tail_, rec.local_tail, v, /*thld=*/nullptr, rec, seq,
                     /*init=*/t)) {
       if (try_enq_slow(v, index, rec)) break;
     }
   }
 
-  void dequeue_slow(u64 h, ThreadRec& rec, u64 seq) {
+  void dequeue_slow(Handle& me, u64 h, ThreadRec& rec, u64 seq) {
     u64 v = h;
-    while (slow_faa(head_, rec.local_head, v, &threshold_.value, rec, seq,
+    while (slow_faa(me, head_, rec.local_head, v, &threshold_.value, rec, seq,
                     /*init=*/h)) {
       if (try_deq_slow(v, rec)) break;
     }
@@ -772,11 +842,11 @@ class BasicWCQ {
   // reserved counter value through the request's local word; the global
   // counter moves exactly once per reservation. On return `v` holds the
   // reserved counter (true) or the request is finished (false).
-  bool slow_faa(AtomicPair128& global, std::atomic<u64>& local, u64& v,
-                std::atomic<i64>* thld, ThreadRec& req_rec, u64 req_seq,
-                u64 init) {
-    const unsigned my = ThreadRegistry::tid();
-    Phase2Rec& p2 = records_[my].phase2;
+  bool slow_faa(Handle& me, AtomicPair128& global, std::atomic<u64>& local,
+                u64& v, std::atomic<i64>* thld, ThreadRec& req_rec,
+                u64 req_seq, u64 init) {
+    const unsigned my = me.tid_;
+    Phase2Rec& p2 = me.rec_->phase2;
     Backoff bo;
     for (;;) {
       u64 cnt = 0;

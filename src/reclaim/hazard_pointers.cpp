@@ -12,9 +12,7 @@ constexpr unsigned kMaxThreads = ThreadRegistry::kMaxThreads;
 }
 
 struct HazardDomain::Impl {
-  struct alignas(kCacheLine) SlotRow {
-    std::atomic<void*> slots[HazardDomain::kSlotsPerThread];
-  };
+  using SlotRow = HazardDomain::ThreadSlots;
 
   struct Retired {
     void* p;
@@ -62,6 +60,10 @@ HazardDomain& HazardDomain::global() {
   return d;
 }
 
+HazardDomain::ThreadSlots* HazardDomain::slots_for(unsigned tid) {
+  return &impl_->rows[tid];
+}
+
 void* HazardDomain::protect_raw(unsigned slot,
                                 const std::atomic<void*>& src) {
   auto& cell = impl_->rows[ThreadRegistry::tid()].slots[slot];
@@ -90,16 +92,20 @@ void HazardDomain::clear_all() {
 }
 
 void HazardDomain::retire(void* p, void (*deleter)(void*)) {
-  retire_common(p, deleter, nullptr, nullptr);
+  retire_common(ThreadRegistry::tid(), p, deleter, nullptr, nullptr);
 }
 
 void HazardDomain::retire(void* p, void (*deleter)(void*, void*), void* ctx) {
-  retire_common(p, nullptr, deleter, ctx);
+  retire_common(ThreadRegistry::tid(), p, nullptr, deleter, ctx);
 }
 
-void HazardDomain::retire_common(void* p, void (*deleter)(void*),
+void HazardDomain::retire(unsigned tid, void* p, void (*deleter)(void*, void*),
+                          void* ctx) {
+  retire_common(tid, p, nullptr, deleter, ctx);
+}
+
+void HazardDomain::retire_common(unsigned tid, void* p, void (*deleter)(void*),
                                  void (*deleter2)(void*, void*), void* ctx) {
-  const unsigned tid = ThreadRegistry::tid();
   auto& list = impl_->retired[tid].list;
   list.push_back(Impl::Retired{p, deleter, deleter2, ctx});
   impl_->retired_total.fetch_add(1, std::memory_order_relaxed);

@@ -24,6 +24,15 @@ class HazardDomain {
  public:
   static constexpr unsigned kSlotsPerThread = 4;
 
+  // One thread's hazard slots, exposed as a first-class row so a per-thread
+  // session handle (DESIGN.md §10) can cache the pointer once and keep the
+  // hot-path publish/clear free of ThreadRegistry lookups. The row for a tid
+  // is stable for the domain's lifetime; only the owning thread stores into
+  // it (scans read cross-thread).
+  struct alignas(kCacheLine) ThreadSlots {
+    std::atomic<void*> slots[kSlotsPerThread];
+  };
+
   // `retire_threshold`: per-thread retire-list length that triggers a scan.
   // 0 (default) selects the classic adaptive bound, 2 * kSlotsPerThread *
   // (registered threads + 1), which amortizes scan cost but lets up to that
@@ -42,6 +51,10 @@ class HazardDomain {
   // Process-wide default domain (queues may also own private domains).
   static HazardDomain& global();
 
+  // The calling thread's (or an explicit tid's) row; constant-time, stable
+  // for the domain's lifetime. Handles cache this.
+  ThreadSlots* slots_for(unsigned tid);
+
   // Publish `src`'s current value in the calling thread's hazard slot and
   // re-validate until stable. Returns the protected pointer.
   template <typename T>
@@ -50,14 +63,37 @@ class HazardDomain {
     return static_cast<T*>(p);
   }
 
+  // Row-based hot path (handle-cached row; no registry lookup). Inline on
+  // purpose: with the row in hand the publish loop is a handful of loads
+  // and one seq_cst store.
+  template <typename T>
+  static T* protect(ThreadSlots& row, unsigned slot,
+                    const std::atomic<T*>& src) {
+    T* p = src.load(std::memory_order_acquire);
+    for (;;) {
+      row.slots[slot].store(static_cast<void*>(p), std::memory_order_seq_cst);
+      T* again = src.load(std::memory_order_acquire);
+      if (again == p) return p;
+      p = again;
+    }
+  }
+
   // Publish an already-loaded pointer (caller re-validates the source).
   template <typename T>
   void set(unsigned slot, T* p) {
     set_raw(slot, static_cast<void*>(p));
   }
 
+  template <typename T>
+  static void set(ThreadSlots& row, unsigned slot, T* p) {
+    row.slots[slot].store(static_cast<void*>(p), std::memory_order_seq_cst);
+  }
+
   void clear(unsigned slot);
   void clear_all();
+  static void clear(ThreadSlots& row, unsigned slot) {
+    row.slots[slot].store(nullptr, std::memory_order_release);
+  }
 
   // Hand `p` to the domain; `deleter(p)` runs once no thread protects it.
   void retire(void* p, void (*deleter)(void*));
@@ -69,6 +105,10 @@ class HazardDomain {
   // owning a private domain and draining it in its destructor).
   void retire(void* p, void (*deleter)(void*, void*), void* ctx);
 
+  // Handle variant: the caller supplies its dense tid (the retire list is
+  // per-tid) instead of the domain resolving ThreadRegistry::tid().
+  void retire(unsigned tid, void* p, void (*deleter)(void*, void*), void* ctx);
+
   // Drain every retire list that can be drained (called by queue dtors;
   // correct only when no other thread is inside the data structure).
   void drain();
@@ -79,7 +119,7 @@ class HazardDomain {
  private:
   void* protect_raw(unsigned slot, const std::atomic<void*>& src);
   void set_raw(unsigned slot, void* p);
-  void retire_common(void* p, void (*deleter)(void*),
+  void retire_common(unsigned tid, void* p, void (*deleter)(void*),
                      void (*deleter2)(void*, void*), void* ctx);
   void scan(unsigned tid);
 

@@ -5,6 +5,8 @@
 #include <mutex>
 #include <vector>
 
+#include "common/op_counters.hpp"
+
 namespace wcq {
 
 namespace {
@@ -103,10 +105,12 @@ struct SlotHolder {
 
 unsigned ThreadRegistry::tid() {
   thread_local SlotHolder holder;
+  opcount::count_registry();
   return holder.slot;
 }
 
 unsigned ThreadRegistry::high_water() {
+  opcount::count_registry();
   return g_high_water.load(std::memory_order_acquire);
 }
 

@@ -36,6 +36,11 @@ class ThreadRegistry {
   // Dense id of the calling thread; acquires a slot on first call.
   // Terminates the process if more than kMaxThreads threads are live
   // (documented hard limit, as in the paper's static NUM_THRDS).
+  //
+  // Every call is metered as a registry lookup (opcount::count_registry, as
+  // is high_water()): the per-thread session handles (DESIGN.md §10) exist
+  // to resolve this once per thread instead of once per layer per
+  // operation, and the bench gate asserts that reduction.
   static unsigned tid();
 
   // One past the highest slot ever acquired; helping loops iterate only

@@ -100,21 +100,29 @@ class IndexMagazines {
   std::size_t refill_span() const { return cap_ / 2; }
   std::size_t spill_span() const { return cap_ / 2 + 1; }
 
-  // --- owner operations (the calling thread's own magazine) ---------------
+  // --- session surface (DESIGN.md §10) ------------------------------------
+
+  // The magazine block for a tid, cached once in a queue's per-thread
+  // session handle so the owner operations below run with zero registry
+  // lookups. nullptr when magazines are disabled (callers branch on
+  // enabled() anyway). Stable for the queue's lifetime.
+  std::atomic<u64>* block_for(unsigned tid) const {
+    return enabled() && tid < max_threads() ? block(tid) : nullptr;
+  }
+
+  // --- owner operations (the block is the caller's own magazine) ----------
 
   // Claim one cached index. The count pre-check makes the common
   // magazine-empty case (enqueue-heavy phases) one relaxed load; the hint
   // never under-reports the owner's own puts (program order), so a <= 0
   // here proves the magazine empty to its owner.
-  bool try_take(u64& out) {
-    std::atomic<u64>* m = mine();
+  bool try_take_at(std::atomic<u64>* m, u64& out) {
     if (count_hint(m) <= 0) return false;
     return take_from(m, out);
   }
 
   // Park one freed index; false when every slot is full (caller spills).
-  bool try_put(u64 idx) {
-    std::atomic<u64>* m = mine();
+  bool try_put_at(std::atomic<u64>* m, u64 idx) {
     for (std::size_t i = 0; i < cap_; ++i) {
       if (slot(m, i).load(std::memory_order_relaxed) == kNone) {
         // Only the owner stores non-kNone values, so the slot cannot have
@@ -128,20 +136,29 @@ class IndexMagazines {
   }
 
   // Claim up to `n` cached indices (bulk claim, spill, exit flush).
+  std::size_t take_some_at(std::atomic<u64>* m, u64* out, std::size_t n) {
+    return take_some_from(m, out, n);
+  }
+
+  // Implicit-path wrappers: resolve the calling thread's block through the
+  // registry (one lookup), then run the block-based operation. Unit tests
+  // and any caller without a session handle use these.
+  bool try_take(u64& out) { return try_take_at(mine(), out); }
+  bool try_put(u64 idx) { return try_put_at(mine(), idx); }
   std::size_t take_some(u64* out, std::size_t n) {
-    return take_some_from(mine(), out, n);
+    return take_some_at(mine(), out, n);
   }
 
   // --- cross-thread operations --------------------------------------------
 
-  // Reclaim sweep: steal one cached index from any other thread's magazine.
+  // Reclaim sweep: steal one cached index from any magazine but `self`'s.
   // Bounded: one pass over the registered-tid range. A miss does not prove
   // no index is cached anywhere (an in-flight put/flush can slip past the
   // scan) — that transient is the same class as an index held by an
   // in-flight enqueuer, which the "full" contract already tolerates
-  // (DESIGN.md §9).
-  bool steal(u64& out) {
-    const unsigned self = ThreadRegistry::tid();
+  // (DESIGN.md §9). Runs only at the full edge, so its registry lookup is
+  // off the steady-state budget.
+  bool steal_for(unsigned self, u64& out) {
     const unsigned hw = ThreadRegistry::high_water();
     const unsigned n = hw < max_threads() ? hw : max_threads();
     for (unsigned t = 0; t < n; ++t) {
@@ -152,6 +169,8 @@ class IndexMagazines {
     }
     return false;
   }
+
+  bool steal(u64& out) { return steal_for(ThreadRegistry::tid(), out); }
 
   // Claim every index cached in `tid`'s magazine (thread-exit flush; also
   // usable cross-thread since takes are CASes). Scans slots directly, not

@@ -6,9 +6,12 @@
 // threads stop contending on one Head/Tail pair. Policy:
 //
 //  * Affinity — every operation starts at the caller's home shard,
-//    `ThreadRegistry::tid() & (shards-1)`. Dense tids mean neighboring
-//    threads land on distinct shards, and a thread keeps its shard for its
-//    whole lifetime, so the uncontended case touches one ring only.
+//    `tid & (shards-1)`. Dense tids mean neighboring threads land on
+//    distinct shards, and a thread keeps its shard for its whole lifetime,
+//    so the uncontended case touches one ring only. A session handle
+//    (DESIGN.md §10) caches the home shard and one BoundedQueue session per
+//    shard, so the handle path resolves nothing per operation; the implicit
+//    path resolves the tid once per call.
 //  * Stealing — when the home shard is empty (dequeue) or full (enqueue),
 //    the operation sweeps the remaining shards exactly once, in ring order
 //    starting at home+1. "Empty"/"full" is reported only after a full sweep
@@ -30,6 +33,8 @@
 #include <bit>
 #include <cassert>
 #include <cstddef>
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <optional>
 #include <type_traits>
@@ -46,6 +51,72 @@ template <typename T, typename Ring = WCQ>
 class ShardedQueue {
  public:
   using Shard = BoundedQueue<T, Ring>;
+
+  // Per-thread session (DESIGN.md §10): the cached home shard plus one
+  // unowned BoundedQueue session per shard, built once at acquire() — the
+  // sweep then touches no registry state at all. Move-only; the queue
+  // aborts if destroyed while owned handles are live (same lifetime
+  // contract as the shard handles). Releasing the session flushes this
+  // tid's magazine in every shard back to the shard's fq, so a pool
+  // worker's cached capacity returns immediately, not at thread exit.
+  class Handle {
+   public:
+    Handle() = default;
+    Handle(Handle&& o) noexcept
+        : q_(o.q_), tid_(o.tid_), home_(o.home_),
+          shards_(std::move(o.shards_)), owned_(o.owned_) {
+      o.q_ = nullptr;
+      o.owned_ = false;
+    }
+    Handle& operator=(Handle&& o) noexcept {
+      if (this != &o) {
+        release();
+        q_ = o.q_;
+        tid_ = o.tid_;
+        home_ = o.home_;
+        shards_ = std::move(o.shards_);
+        owned_ = o.owned_;
+        o.q_ = nullptr;
+        o.owned_ = false;
+      }
+      return *this;
+    }
+    Handle(const Handle&) = delete;
+    Handle& operator=(const Handle&) = delete;
+    ~Handle() { release(); }
+
+    unsigned tid() const { return tid_; }
+    // The session's cached home shard (satellite of DESIGN.md §10: the
+    // implicit path recomputes this from the registry tid once per call;
+    // the handle never does).
+    unsigned home_shard() const { return home_; }
+
+   private:
+    friend class ShardedQueue;
+    Handle(ShardedQueue* q, unsigned tid, bool owned)
+        : q_(q), tid_(tid), home_(tid & q->mask_), owned_(owned) {
+      shards_.reserve(q->shards_.size());
+      for (auto& s : q->shards_) shards_.push_back(s->handle_for(tid));
+    }
+
+    void release() {
+      if (owned_ && q_ != nullptr) {
+        // Same ownership transfer as BoundedQueue::acquire()'s handle: the
+        // session returns its cached free indices now; the thread-exit
+        // hook remains the fallback for implicit use.
+        for (auto& s : q_->shards_) s->flush_magazine(tid_);
+        q_->live_handles_.fetch_sub(1, std::memory_order_acq_rel);
+      }
+      q_ = nullptr;
+      owned_ = false;
+    }
+
+    ShardedQueue* q_ = nullptr;
+    unsigned tid_ = 0;
+    unsigned home_ = 0;
+    std::vector<typename Shard::Handle> shards_;
+    bool owned_ = false;
+  };
 
   struct Options {
     // Rounded up to a power of two (at least 1).
@@ -71,6 +142,17 @@ class ShardedQueue {
   ShardedQueue(unsigned shards, unsigned shard_order)
       : ShardedQueue(Options{shards, shard_order}) {}
 
+  ~ShardedQueue() {
+    const int live = live_handles_.load(std::memory_order_acquire);
+    if (live != 0) {
+      std::fprintf(stderr,
+                   "wcq: ShardedQueue destroyed with %d live session "
+                   "handle(s); destroy handles before their queue\n",
+                   live);
+      std::abort();
+    }
+  }
+
   ShardedQueue(const ShardedQueue&) = delete;
   ShardedQueue& operator=(const ShardedQueue&) = delete;
 
@@ -83,22 +165,54 @@ class ShardedQueue {
   // The calling thread's home shard (tests pin expectations to this).
   unsigned home_shard() const { return ThreadRegistry::tid() & mask_; }
 
+  // Owned per-thread session: one registry lookup now, none per operation.
+  Handle acquire() {
+    live_handles_.fetch_add(1, std::memory_order_acq_rel);
+    return Handle(this, ThreadRegistry::tid(), /*owned=*/true);
+  }
+
+  // --- operations ----------------------------------------------------------
+
   // False only after every shard rejected the element during one sweep.
   bool enqueue(T value) {
-    const unsigned h = home_shard();
+    const unsigned tid = ThreadRegistry::tid();
+    const unsigned h = tid & mask_;
     const unsigned n = shard_count();
     for (unsigned s = 0; s < n; ++s) {
-      if (shards_[(h + s) & mask_]->enqueue_movable(value)) return true;
+      Shard& sh = *shards_[(h + s) & mask_];
+      auto shh = sh.handle_for(tid);
+      if (sh.enqueue_movable(shh, value)) return true;
+    }
+    return false;
+  }
+
+  bool enqueue(Handle& h, T value) {
+    const unsigned n = shard_count();
+    for (unsigned s = 0; s < n; ++s) {
+      const unsigned i = (h.home_ + s) & mask_;
+      if (shards_[i]->enqueue_movable(h.shards_[i], value)) return true;
     }
     return false;
   }
 
   // Nullopt only after a full steal sweep found every shard empty.
   std::optional<T> dequeue() {
-    const unsigned h = home_shard();
+    const unsigned tid = ThreadRegistry::tid();
+    const unsigned h = tid & mask_;
     const unsigned n = shard_count();
     for (unsigned s = 0; s < n; ++s) {
-      if (auto v = shards_[(h + s) & mask_]->dequeue()) return v;
+      Shard& sh = *shards_[(h + s) & mask_];
+      auto shh = sh.handle_for(tid);
+      if (auto v = sh.dequeue(shh)) return v;
+    }
+    return std::nullopt;
+  }
+
+  std::optional<T> dequeue(Handle& h) {
+    const unsigned n = shard_count();
+    for (unsigned s = 0; s < n; ++s) {
+      const unsigned i = (h.home_ + s) & mask_;
+      if (auto v = shards_[i]->dequeue(h.shards_[i])) return v;
     }
     return std::nullopt;
   }
@@ -110,11 +224,26 @@ class ShardedQueue {
   template <typename U,
             std::enable_if_t<std::is_same_v<std::remove_const_t<U>, T>, int> = 0>
   std::size_t enqueue_bulk(U* first, std::size_t n) {
-    const unsigned h = home_shard();
+    const unsigned tid = ThreadRegistry::tid();
+    const unsigned h = tid & mask_;
     const unsigned k = shard_count();
     std::size_t done = 0;
     for (unsigned s = 0; s < k && done < n; ++s) {
-      done += shards_[(h + s) & mask_]->enqueue_bulk(first + done, n - done);
+      Shard& sh = *shards_[(h + s) & mask_];
+      auto shh = sh.handle_for(tid);
+      done += sh.enqueue_bulk(shh, first + done, n - done);
+    }
+    return done;
+  }
+
+  template <typename U,
+            std::enable_if_t<std::is_same_v<std::remove_const_t<U>, T>, int> = 0>
+  std::size_t enqueue_bulk(Handle& h, U* first, std::size_t n) {
+    const unsigned k = shard_count();
+    std::size_t done = 0;
+    for (unsigned s = 0; s < k && done < n; ++s) {
+      const unsigned i = (h.home_ + s) & mask_;
+      done += shards_[i]->enqueue_bulk(h.shards_[i], first + done, n - done);
     }
     return done;
   }
@@ -123,11 +252,24 @@ class ShardedQueue {
   // the sweep. Returns how many were dequeued; fewer than `n` does not prove
   // emptiness (see the shard-level contract), dequeue() does.
   std::size_t dequeue_bulk(T* out, std::size_t n) {
-    const unsigned h = home_shard();
+    const unsigned tid = ThreadRegistry::tid();
+    const unsigned h = tid & mask_;
     const unsigned k = shard_count();
     std::size_t done = 0;
     for (unsigned s = 0; s < k && done < n; ++s) {
-      done += shards_[(h + s) & mask_]->dequeue_bulk(out + done, n - done);
+      Shard& sh = *shards_[(h + s) & mask_];
+      auto shh = sh.handle_for(tid);
+      done += sh.dequeue_bulk(shh, out + done, n - done);
+    }
+    return done;
+  }
+
+  std::size_t dequeue_bulk(Handle& h, T* out, std::size_t n) {
+    const unsigned k = shard_count();
+    std::size_t done = 0;
+    for (unsigned s = 0; s < k && done < n; ++s) {
+      const unsigned i = (h.home_ + s) & mask_;
+      done += shards_[i]->dequeue_bulk(h.shards_[i], out + done, n - done);
     }
     return done;
   }
@@ -135,6 +277,7 @@ class ShardedQueue {
  private:
   std::vector<std::unique_ptr<Shard>> shards_;
   unsigned mask_ = 0;
+  std::atomic<int> live_handles_{0};
 };
 
 }  // namespace wcq

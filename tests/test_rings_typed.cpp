@@ -91,6 +91,50 @@ TYPED_TEST(RingTypedTest, MpmcCountsExact) {
   testing::run_mpmc_count_exact(q, 4, 4, 15000);
 }
 
+// Every ring now shares the DESIGN.md §7 bulk contract (SCQ gained it with
+// the session-handle PR): spans insert everything, bulk dequeues preserve
+// FIFO, and interleaving bulk with single ops keeps exact order.
+TYPED_TEST(RingTypedTest, BulkAndSingleOpsInterleaveFifo) {
+  TypeParam q(6);
+  const u64 cap = q.capacity();
+  u64 in[16], out[16];
+  u64 next_in = 0, next_out = 0;
+  for (int round = 0; round < 200; ++round) {
+    const std::size_t span = 1 + (static_cast<std::size_t>(round) % 16);
+    for (std::size_t i = 0; i < span; ++i) in[i] = (next_in + i) % cap;
+    q.enqueue_bulk(in, span);
+    next_in += span;
+    q.enqueue(next_in++ % cap);
+    std::size_t got = 0;
+    while (got < span) {
+      const std::size_t k = q.dequeue_bulk(out + got, span - got);
+      if (k == 0) break;
+      got += k;
+    }
+    ASSERT_EQ(got, span);
+    for (std::size_t i = 0; i < span; ++i) {
+      ASSERT_EQ(out[i], next_out % cap);
+      ++next_out;
+    }
+    auto v = q.dequeue();
+    ASSERT_TRUE(v.has_value());
+    ASSERT_EQ(*v, next_out++ % cap);
+  }
+  ASSERT_FALSE(q.dequeue().has_value());
+}
+
+// Explicit ring sessions: same FIFO contract through handle-taking ops.
+TYPED_TEST(RingTypedTest, HandleOpsRoundTrip) {
+  TypeParam q(5);
+  auto h = q.handle();
+  for (u64 i = 0; i < 4 * q.capacity(); ++i) {
+    q.enqueue(h, i % q.capacity());
+    auto v = q.dequeue(h);
+    ASSERT_TRUE(v.has_value());
+    ASSERT_EQ(*v, i % q.capacity());
+  }
+}
+
 TYPED_TEST(RingTypedTest, EmptyDequeueStorm) {
   // Many threads hammering an empty ring must all observe empty and leave
   // the ring usable.

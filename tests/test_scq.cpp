@@ -100,6 +100,56 @@ TEST(Scq, FullCapacityIsUsable) {
   EXPECT_EQ(count, q.capacity());
 }
 
+TEST(Scq, BulkRoundTripPreservesFifo) {
+  SCQ q(6);
+  u64 in[48], out[48];
+  for (u64 i = 0; i < 48; ++i) in[i] = i;
+  q.enqueue_bulk(in, 48);
+  std::size_t got = 0;
+  while (got < 48) {
+    const std::size_t k = q.dequeue_bulk(out + got, 48 - got);
+    if (k == 0) break;
+    got += k;
+  }
+  ASSERT_EQ(got, 48u);
+  for (u64 i = 0; i < 48; ++i) ASSERT_EQ(out[i], i);
+  EXPECT_FALSE(q.dequeue().has_value());
+}
+
+TEST(Scq, BulkSpanCostsOneFaa) {
+  // The DESIGN.md §7 bulk contract SCQ now shares with BasicWCQ: one Tail
+  // (resp. Head) F&A per span instead of one per element. Uncontended, so
+  // the counter delta is deterministic.
+  SCQ q(8);
+  u64 in[32], out[32];
+  for (u64 i = 0; i < 32; ++i) in[i] = i;
+  const auto before_enq = opcount::snapshot();
+  q.enqueue_bulk(in, 32);
+  const auto after_enq = opcount::snapshot();
+  EXPECT_EQ(after_enq.faa - before_enq.faa, 1u)
+      << "bulk enqueue must reserve the whole span with one F&A";
+  const auto before_deq = opcount::snapshot();
+  const std::size_t got = q.dequeue_bulk(out, 32);
+  const auto after_deq = opcount::snapshot();
+  EXPECT_EQ(got, 32u);
+  EXPECT_EQ(after_deq.faa - before_deq.faa, 1u)
+      << "bulk dequeue must reserve the whole span with one F&A";
+}
+
+TEST(Scq, BulkDequeueOnEmptyBurnsNothing) {
+  SCQ q(5);
+  q.enqueue(1);
+  ASSERT_TRUE(q.dequeue().has_value());
+  // Decay the threshold to the empty fast-exit.
+  for (u64 i = 0; i <= 4 * q.capacity(); ++i) {
+    ASSERT_FALSE(q.dequeue().has_value());
+  }
+  const u64 head_before = q.head();
+  u64 out[8];
+  EXPECT_EQ(q.dequeue_bulk(out, 8), 0u);
+  EXPECT_EQ(q.head(), head_before) << "empty bulk dequeue burned ranks";
+}
+
 TEST(Scq, RemapOffStillCorrect) {
   SCQ q(5, /*cache_remap=*/false);
   for (u64 i = 0; i < 2000; ++i) {
