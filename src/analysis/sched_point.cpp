@@ -1,0 +1,58 @@
+#include "analysis/sched_point.hpp"
+
+namespace wcq::analysis {
+
+namespace detail {
+std::atomic<const SchedHooks*> g_hooks{nullptr};
+}  // namespace detail
+
+namespace {
+
+// The mutation model's one-entry "store buffer" (sched_point.hpp). At most
+// one store is parked per thread: ring code routes only the threshold re-arm
+// through it, and a second defer drains the first — matching a real store
+// buffer, which cannot reorder two stores to the same location.
+struct DeferredStore {
+  std::atomic<std::int64_t>* target = nullptr;
+  std::int64_t value = 0;
+};
+thread_local DeferredStore tl_deferred;
+
+}  // namespace
+
+void flush_deferred() {
+  if (tl_deferred.target != nullptr) {
+    tl_deferred.target->store(tl_deferred.value, std::memory_order_seq_cst);
+    tl_deferred.target = nullptr;
+  }
+}
+
+namespace detail {
+void sched_point_slow(Site site) {
+  const SchedHooks* h = g_hooks.load(std::memory_order_acquire);
+  if (h != nullptr) h->yield(h->ctx, site);
+  // Drain after the yield returns: everything the scheduler ran in between
+  // saw the pre-store state, which is the reordering window being modeled.
+  flush_deferred();
+}
+}  // namespace detail
+
+void install(const SchedHooks* hooks) {
+  detail::g_hooks.store(hooks, std::memory_order_release);
+}
+
+void uninstall() {
+  detail::g_hooks.store(nullptr, std::memory_order_release);
+}
+
+void mutate_deferred_store(std::atomic<std::int64_t>* target,
+                           std::int64_t value) {
+  if (!hooks_installed()) {
+    target->store(value, std::memory_order_seq_cst);
+    return;
+  }
+  flush_deferred();
+  tl_deferred = DeferredStore{target, value};
+}
+
+}  // namespace wcq::analysis

@@ -124,7 +124,10 @@ class LCRQ {
 
     static CRQ* create(unsigned order) {
       const u64 n = u64{1} << order;
-      void* mem = alloc_meter::allocate(sizeof(CRQ) + n * sizeof(AtomicPair128));
+      // CRQ is over-aligned (alignas(kDestructiveRange) members): plain
+      // malloc's max_align_t guarantee is not enough.
+      void* mem = alloc_meter::allocate_aligned(
+          sizeof(CRQ) + n * sizeof(AtomicPair128), alignof(CRQ));
       CRQ* c = new (mem) CRQ();
       c->head_counter.store(0, std::memory_order_relaxed);
       c->tail_counter.store(0, std::memory_order_relaxed);
@@ -141,7 +144,7 @@ class LCRQ {
     static void destroy(CRQ* c) {
       const u64 n = c->size;
       c->~CRQ();
-      alloc_meter::deallocate(c, sizeof(CRQ) + n * sizeof(AtomicPair128));
+      alloc_meter::deallocate_aligned(c, sizeof(CRQ) + n * sizeof(AtomicPair128));
     }
 
     // False = closed (caller appends a new CRQ).

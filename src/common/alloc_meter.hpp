@@ -60,10 +60,19 @@ struct MeteredAllocator {
   MeteredAllocator(const MeteredAllocator<U>&) {}  // NOLINT(implicit)
 
   T* allocate(std::size_t n) {
-    return static_cast<T*>(alloc_meter::allocate(n * sizeof(T)));
+    if constexpr (alignof(T) > alignof(std::max_align_t)) {
+      return static_cast<T*>(
+          alloc_meter::allocate_aligned(n * sizeof(T), alignof(T)));
+    } else {
+      return static_cast<T*>(alloc_meter::allocate(n * sizeof(T)));
+    }
   }
   void deallocate(T* p, std::size_t n) {
-    alloc_meter::deallocate(p, n * sizeof(T));
+    if constexpr (alignof(T) > alignof(std::max_align_t)) {
+      alloc_meter::deallocate_aligned(p, n * sizeof(T));
+    } else {
+      alloc_meter::deallocate(p, n * sizeof(T));
+    }
   }
   template <typename U>
   bool operator==(const MeteredAllocator<U>&) const {
@@ -71,10 +80,19 @@ struct MeteredAllocator {
   }
 };
 
-// Typed convenience helpers for queue nodes/segments.
+// Typed convenience helpers for queue nodes/segments. Over-aligned types
+// (cache-line-aligned Impl structs and the like) must go through the aligned
+// path: plain malloc only guarantees max_align_t, and constructing an
+// alignas(64) object on a 16-byte boundary is UB (UBSan: "constructor call
+// on misaligned address").
 template <typename T, typename... Args>
 T* create(Args&&... args) {
-  void* p = allocate(sizeof(T));
+  void* p;
+  if constexpr (alignof(T) > alignof(std::max_align_t)) {
+    p = allocate_aligned(sizeof(T), alignof(T));
+  } else {
+    p = allocate(sizeof(T));
+  }
   return new (p) T(static_cast<Args&&>(args)...);
 }
 
@@ -82,7 +100,11 @@ template <typename T>
 void destroy(T* p) {
   if (p != nullptr) {
     p->~T();
-    deallocate(p, sizeof(T));
+    if constexpr (alignof(T) > alignof(std::max_align_t)) {
+      deallocate_aligned(p, sizeof(T));
+    } else {
+      deallocate(p, sizeof(T));
+    }
   }
 }
 

@@ -1,7 +1,6 @@
 #include "common/op_counters.hpp"
 
-namespace wcq::opcount {
-
-constinit thread_local Counters tl_counters{};
-
-}  // namespace wcq::opcount
+// The counters live in a function-local thread_local (see the header for the
+// -fsanitize=null rationale); no out-of-line state remains. The TU stays so
+// the build graph keeps a stable anchor for the component.
+namespace wcq::opcount {}

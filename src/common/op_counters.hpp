@@ -32,13 +32,22 @@ struct Counters {
   std::uint64_t registry = 0;
 };
 
-extern thread_local Counters tl_counters;
+// Function-local thread_local rather than an extern TLS object: GCC's
+// -fsanitize=null instrumentation has a long-standing false positive on
+// direct member access through an extern thread_local under optimization
+// ("member access within null pointer" on the segment-relative address),
+// which would make the UBSan tier unusable. The accessor compiles to the
+// same single fs-relative add; snapshot() keeps the public API unchanged.
+inline Counters& tls_counters() noexcept {
+  thread_local Counters c{};
+  return c;
+}
 
-inline void count_faa() { ++tl_counters.faa; }
-inline void count_threshold() { ++tl_counters.threshold; }
-inline void count_registry() { ++tl_counters.registry; }
+inline void count_faa() { ++tls_counters().faa; }
+inline void count_threshold() { ++tls_counters().threshold; }
+inline void count_registry() { ++tls_counters().registry; }
 
 // Snapshot of this thread's counters (diff two snapshots around a workload).
-inline Counters snapshot() { return tl_counters; }
+inline Counters snapshot() { return tls_counters(); }
 
 }  // namespace wcq::opcount

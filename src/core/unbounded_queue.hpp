@@ -318,12 +318,15 @@ class UnboundedQueue {
     explicit Segment(const QueueOptions& opt) : queue(opt) {}
 
     static Segment* create(const QueueOptions& opt) {
-      void* mem = alloc_meter::allocate(sizeof(Segment));
+      // The embedded BoundedQueue is cache-line-aligned, so Segment is
+      // over-aligned — plain malloc's max_align_t is not enough.
+      void* mem = alloc_meter::allocate_aligned(sizeof(Segment),
+                                                alignof(Segment));
       return new (mem) Segment(opt);
     }
     static void destroy(Segment* s) {
       s->~Segment();
-      alloc_meter::deallocate(s, sizeof(Segment));
+      alloc_meter::deallocate_aligned(s, sizeof(Segment));
     }
 
     // Reopen a finalized, drained, quiescent segment (exclusive access; the

@@ -46,6 +46,7 @@
 #include <cstdio>
 #include <optional>
 
+#include "analysis/sched_point.hpp"
 #include "common/align.hpp"
 #include "common/backoff.hpp"
 #include "common/dwcas.hpp"
@@ -196,6 +197,7 @@ class BasicWCQ {
 
   // Removes and returns the oldest index, or nullopt when empty. Wait-free.
   std::optional<u64> dequeue() {
+    WCQ_SCHED_POINT(kThresholdCheck);
     if (threshold_.value.load(std::memory_order_acquire) < 0) {
       return std::nullopt;  // empty fast-exit (before paying for a session)
     }
@@ -204,6 +206,7 @@ class BasicWCQ {
   }
 
   std::optional<u64> dequeue(Handle& sh) {
+    WCQ_SCHED_POINT(kThresholdCheck);
     if (threshold_.value.load(std::memory_order_acquire) < 0) {
       return std::nullopt;  // empty fast-exit
     }
@@ -265,6 +268,7 @@ class BasicWCQ {
     if (n == 0) return;
     if (n == 1) return enqueue(h, indices[0]);
     help_threads(h);
+    WCQ_SCHED_POINT(kTailFaa);
     const u64 base = tail_.lo.fetch_add(n, std::memory_order_seq_cst);
     opcount::count_faa();
     std::size_t done = 0;
@@ -282,6 +286,7 @@ class BasicWCQ {
   // batch contract. Every reserved rank is processed (see deq_at).
   std::size_t dequeue_bulk(u64* out, std::size_t n) {
     if (n == 0) return 0;
+    WCQ_SCHED_POINT(kThresholdCheck);
     if (threshold_.value.load(std::memory_order_acquire) < 0) {
       return 0;  // empty fast-exit, no ranks burned (and no session paid)
     }
@@ -291,6 +296,7 @@ class BasicWCQ {
 
   std::size_t dequeue_bulk(Handle& h, u64* out, std::size_t n) {
     if (n == 0) return 0;
+    WCQ_SCHED_POINT(kThresholdCheck);
     if (threshold_.value.load(std::memory_order_acquire) < 0) {
       return 0;  // empty fast-exit, no ranks burned
     }
@@ -301,6 +307,7 @@ class BasicWCQ {
       return 1;
     }
     help_threads(h);
+    WCQ_SCHED_POINT(kHeadFaa);
     const u64 base = head_.lo.fetch_add(n, std::memory_order_seq_cst);
     opcount::count_faa();
     std::size_t got = 0;
@@ -506,6 +513,7 @@ class BasicWCQ {
   // ---- fast path (identical to SCQ modulo the pair layout) ----------------
 
   bool try_enq(u64 index, u64& tail_out) {
+    WCQ_SCHED_POINT(kTailFaa);
     const u64 t = tail_.lo.fetch_add(1, std::memory_order_seq_cst);
     opcount::count_faa();
     tail_out = t;
@@ -513,6 +521,7 @@ class BasicWCQ {
   }
 
   DeqStatus try_deq(Handle& me, u64& index_out, u64& head_out) {
+    WCQ_SCHED_POINT(kHeadFaa);
     const u64 h = head_.lo.fetch_add(1, std::memory_order_seq_cst);
     opcount::count_faa();
     head_out = h;
@@ -535,6 +544,7 @@ class BasicWCQ {
           !codec_.is_live_index(e.index)) {
         // One-step insertion on the fast path: Enq=1 right away (Thm 5.9).
         const u64 fresh = codec_.pack(cycle_t, true, true, index);
+        WCQ_SCHED_POINT(kEntryUpdate);
         if (!entries_[j].lo.compare_exchange_strong(
                 raw, fresh, std::memory_order_seq_cst)) {
           continue;
@@ -557,6 +567,7 @@ class BasicWCQ {
     const u64 cycle_h = codec_.cycle_of(h);
     u64 raw = entries_[j].lo.load(std::memory_order_acquire);
     for (;;) {
+      WCQ_SCHED_POINT(kEntryUpdate);
       const Entry e = codec_.unpack(raw);
       if (e.cycle == cycle_h) {
         assert(codec_.is_live_index(e.index) && "owner sees non-live index");
@@ -580,6 +591,7 @@ class BasicWCQ {
         const u64 t = tail_.lo.load(std::memory_order_seq_cst);
         if (t <= h + 1) {
           catchup(t, h + 1);
+          WCQ_SCHED_POINT(kThresholdDec);
           threshold_.value.fetch_sub(1, std::memory_order_seq_cst);
           opcount::count_threshold();
           dbg(kEvDeqEmptyFast, h);
@@ -587,6 +599,7 @@ class BasicWCQ {
         }
       }
       opcount::count_threshold();
+      WCQ_SCHED_POINT(kThresholdDec);
       if (threshold_.value.fetch_sub(1, std::memory_order_seq_cst) <= 0) {
         dbg(kEvDeqEmptyFast, h);
         return DeqStatus::kEmpty;
@@ -620,13 +633,22 @@ class BasicWCQ {
     // which stays seq_cst (Lemma 5.5 ordering); the L4 empty-window history
     // check is the regression net for this argument.
     if (threshold_.value.load(std::memory_order_relaxed) != threshold_max()) {
+      WCQ_SCHED_POINT(kThresholdArm);
+#if defined(WCQ_ANALYSIS_MUTATE_THRESHOLD)
+      // Mutation self-test (DESIGN.md §11): model the re-arm downgraded to a
+      // relaxed store whose visibility is delayed past the next scheduling
+      // point. tests/analysis must catch the false-empty window this opens.
+      analysis::mutate_deferred_store(&threshold_.value, threshold_max());
+#else
       threshold_.value.store(threshold_max(), std::memory_order_seq_cst);
+#endif
       opcount::count_threshold();
     }
   }
 
   void catchup(u64 tail, u64 head) {
     for (int i = 0; i < kCatchupMax; ++i) {
+      WCQ_SCHED_POINT(kCatchup);
       if (tail_.lo.compare_exchange_strong(tail, head,
                                            std::memory_order_seq_cst)) {
         return;
@@ -641,6 +663,7 @@ class BasicWCQ {
 
   void consume(Handle& me, u64 h, u64 j, const Entry& e) {
     if (!e.enq) finalize_request(me, h);
+    WCQ_SCHED_POINT(kEntryUpdate);
     entries_[j].lo.fetch_or(codec_.consume_mask(), std::memory_order_seq_cst);
     dbg(kEvConsumed, h, e.index);
   }
@@ -662,6 +685,7 @@ class BasicWCQ {
       const u64 cur = lt.load(std::memory_order_acquire);
       if ((cur & kCounterMask) == h) {
         u64 expect = h;  // only a clean (flag-free) value is finalized
+        WCQ_SCHED_POINT(kSlowLocal);
         lt.compare_exchange_strong(expect, h | kFin,
                                    std::memory_order_seq_cst);
         return;
@@ -739,6 +763,7 @@ class BasicWCQ {
     const u64 j = remap_(codec_.pos_of(t));
     const u64 cycle_t = codec_.cycle_of(t);
     for (;;) {
+      WCQ_SCHED_POINT(kEntryUpdate);
       Pair128 pair = entries_[j].load_torn();
       const Entry e = codec_.unpack(pair.lo);
       const u64 note = pair.hi;
@@ -758,6 +783,7 @@ class BasicWCQ {
         dbg(kEvProducedSlow, t, index);
         // Finalize the help request, then flip Enq to 1 (Fig 7 lines 14-17).
         u64 expect = t;
+        WCQ_SCHED_POINT(kSlowLocal);
         if (rec.local_tail.compare_exchange_strong(
                 expect, t | kFin, std::memory_order_seq_cst)) {
           // Flip Enq to 1; on failure the consumer's OR flips it instead.
@@ -789,11 +815,13 @@ class BasicWCQ {
     const u64 j = remap_(codec_.pos_of(h));
     const u64 cycle_h = codec_.cycle_of(h);
     for (;;) {
+      WCQ_SCHED_POINT(kEntryUpdate);
       Pair128 pair = entries_[j].load_torn();
       const Entry e = codec_.unpack(pair.lo);
       if (e.cycle == cycle_h && e.index != codec_.bottom()) {
         // Ready (value) or already consumed by the requester (⊥c).
         u64 expect = h;
+        WCQ_SCHED_POINT(kSlowLocal);
         if (!rec.local_head.compare_exchange_strong(
                 expect, h | kFin, std::memory_order_seq_cst)) {
           dbg(kEvFinFail, h, expect);
@@ -820,8 +848,10 @@ class BasicWCQ {
       const u64 t = tail_.lo.load(std::memory_order_seq_cst);
       if (t <= h + 1) {
         catchup(t, h + 1);
+        WCQ_SCHED_POINT(kThresholdCheck);
         if (threshold_.value.load(std::memory_order_seq_cst) < 0) {
           u64 expect = h;
+          WCQ_SCHED_POINT(kSlowLocal);
           if (!rec.local_head.compare_exchange_strong(
                   expect, h | kFin, std::memory_order_seq_cst) &&
               (expect & kFin) == 0) {
@@ -854,6 +884,7 @@ class BasicWCQ {
       bool advanced = false;
       if (have_cnt) {
         u64 expect = v;
+        WCQ_SCHED_POINT(kSlowLocal);
         if (local.compare_exchange_strong(expect, cnt | kInc,
                                           std::memory_order_seq_cst)) {
           dbg(kEvP1Adv, cnt, v);
@@ -892,20 +923,24 @@ class BasicWCQ {
       // Publish the increment together with a Phase-2 help tag.
       const u64 gen = prepare_phase2(p2, &local, cnt);
       Pair128 expect{cnt, 0};
+      WCQ_SCHED_POINT(kSlowPublish);
       if (dwcas(global, expect, Pair128{cnt + 1, make_ref(my, gen)})) {
         opcount::count_faa();  // the slow path's published increment
         dbg(kEvPublishOk, cnt, rec_index(req_rec));
         // Exactly one thread reaches here per reservation: the threshold is
         // decremented once per global Head change (Lemma 5.6).
         if (thld != nullptr) {
+          WCQ_SCHED_POINT(kThresholdDec);
           thld->fetch_sub(1, std::memory_order_seq_cst);
           opcount::count_threshold();
         }
         u64 e = cnt | kInc;
+        WCQ_SCHED_POINT(kSlowLocal);
         if (local.compare_exchange_strong(e, cnt, std::memory_order_seq_cst)) {
           dbg(kEvP2Done, cnt);
         }
         Pair128 gexp{cnt + 1, make_ref(my, gen)};
+        WCQ_SCHED_POINT(kSlowPublish);
         dwcas(global, gexp, Pair128{cnt + 1, 0});  // failure: others clear it
         v = cnt;
         dbg(kEvReturnTrue, v, rec_index(req_rec));
@@ -929,6 +964,7 @@ class BasicWCQ {
   bool load_global_help_phase2(AtomicPair128& global, std::atomic<u64>& local,
                                u64& cnt_out) {
     for (;;) {
+      WCQ_SCHED_POINT(kSlowHelp);
       if ((local.load(std::memory_order_acquire) & kFin) != 0) return false;
       const u64 gcnt = global.lo.load(std::memory_order_seq_cst);
       const u64 gref = global.hi.load(std::memory_order_acquire);

@@ -33,6 +33,7 @@
 #include <atomic>
 #include <cstddef>
 
+#include "analysis/sched_point.hpp"
 #include "common/align.hpp"
 #include "runtime/thread_registry.hpp"
 
@@ -57,6 +58,7 @@ class SegmentPool {
     if (size_.load(std::memory_order_relaxed) == 0) return nullptr;
     for (std::size_t i = 0; i < slots_.size(); ++i) {
       Node* n = slots_[i].value.load(std::memory_order_relaxed);
+      WCQ_SCHED_POINT(kPoolOp);
       if (n != nullptr &&
           slots_[i].value.compare_exchange_strong(
               n, nullptr, std::memory_order_acquire,
@@ -74,6 +76,7 @@ class SegmentPool {
     if (size_.load(std::memory_order_relaxed) >= cap()) return false;
     for (std::size_t i = 0; i < slots_.size(); ++i) {
       Node* expected = nullptr;
+      WCQ_SCHED_POINT(kPoolOp);
       if (slots_[i].value.load(std::memory_order_relaxed) == nullptr &&
           slots_[i].value.compare_exchange_strong(
               expected, n, std::memory_order_release,

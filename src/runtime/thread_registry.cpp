@@ -5,6 +5,7 @@
 #include <mutex>
 #include <vector>
 
+#include "analysis/sched_point.hpp"
 #include "common/op_counters.hpp"
 
 namespace wcq {
@@ -55,6 +56,7 @@ unsigned acquire_slot() {
     std::uint64_t bits = g_bitmap[w].load(std::memory_order_relaxed);
     while (bits != ~std::uint64_t{0}) {
       const unsigned bit = static_cast<unsigned>(__builtin_ctzll(~bits));
+      WCQ_SCHED_POINT(kRegistry);
       if (g_bitmap[w].compare_exchange_weak(bits, bits | (1ULL << bit),
                                             std::memory_order_acq_rel)) {
         const unsigned slot = w * 64 + bit;
@@ -65,6 +67,7 @@ unsigned acquire_slot() {
         // advance would let a scanner see the new high-water mark without
         // those prior writes.
         unsigned hw = g_high_water.load(std::memory_order_relaxed);
+        WCQ_SCHED_POINT(kRegistry);
         while (hw < slot + 1 &&
                !g_high_water.compare_exchange_weak(hw, slot + 1,
                                                    std::memory_order_release,

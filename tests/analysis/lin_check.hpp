@@ -1,0 +1,118 @@
+// Bounded-FIFO linearizability checker (Wing & Gong style enumeration with
+// memoization) for the schedule-exploration harness (DESIGN.md §11).
+//
+// The histories produced by one explored schedule are tiny — a handful of
+// workers, a dozen ops — so an exact check is affordable: search for *any*
+// total order of the recorded operations that (a) respects real-time order
+// (an op that responded before another was invoked must come first) and
+// (b) replays correctly against a sequential bounded FIFO queue. Memoizing
+// on (linearized-set, queue-content) keeps re-explored interleavings cheap.
+//
+// Semantics per op kind at its linearization point:
+//   enq ok      — queue has a free slot (size < capacity); value appended
+//   enq full    — only legal when size == capacity, unless the queue layer
+//                 documents spurious fulls (BoundedQueue with magazines: a
+//                 free index parked in a peer's in-flight magazine put can
+//                 slip past the reclaim sweep, DESIGN.md §9) — then it is
+//                 accepted in any state via `allow_spurious_full`
+//   deq ok(v)   — v is at the head; removed
+//   deq empty   — queue holds nothing
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace wcq::analysis_test {
+
+struct OpRec {
+  unsigned thread = 0;
+  bool is_enq = false;
+  bool ok = false;           // enq: accepted; deq: produced a value
+  std::uint64_t value = 0;   // enq: argument; deq: result when ok
+  std::uint64_t inv = 0;     // invocation timestamp (shared event clock)
+  std::uint64_t res = 0;     // response timestamp
+};
+
+class LinChecker {
+ public:
+  LinChecker(std::vector<OpRec> ops, std::size_t capacity,
+             bool allow_spurious_full)
+      : ops_(std::move(ops)),
+        capacity_(capacity),
+        allow_spurious_full_(allow_spurious_full) {}
+
+  // True when some linearization of the history exists.
+  bool check() {
+    if (ops_.size() > 63) return false;  // bitmask bound; keep scopes small
+    seen_.clear();
+    std::vector<std::uint64_t> queue;
+    return dfs(0, queue);
+  }
+
+ private:
+  bool dfs(std::uint64_t done, std::vector<std::uint64_t>& queue) {
+    if (done == (std::uint64_t{1} << ops_.size()) - 1) return true;
+    std::string key = encode(done, queue);
+    if (seen_.count(key) != 0) return false;
+    for (std::size_t i = 0; i < ops_.size(); ++i) {
+      if ((done >> i) & 1) continue;
+      if (!minimal(done, i)) continue;
+      const OpRec& op = ops_[i];
+      if (op.is_enq) {
+        if (op.ok) {
+          if (queue.size() >= capacity_) continue;
+          queue.push_back(op.value);
+          if (dfs(done | (std::uint64_t{1} << i), queue)) return true;
+          queue.pop_back();
+        } else {
+          if (!allow_spurious_full_ && queue.size() != capacity_) continue;
+          if (dfs(done | (std::uint64_t{1} << i), queue)) return true;
+        }
+      } else {
+        if (op.ok) {
+          if (queue.empty() || queue.front() != op.value) continue;
+          queue.erase(queue.begin());
+          if (dfs(done | (std::uint64_t{1} << i), queue)) return true;
+          queue.insert(queue.begin(), op.value);
+        } else {
+          if (!queue.empty()) continue;
+          if (dfs(done | (std::uint64_t{1} << i), queue)) return true;
+        }
+      }
+    }
+    seen_.insert(std::move(key));
+    return false;
+  }
+
+  // Real-time order: op i may linearize next only if every op that responded
+  // before i's invocation has already been linearized.
+  bool minimal(std::uint64_t done, std::size_t i) const {
+    for (std::size_t j = 0; j < ops_.size(); ++j) {
+      if (j == i || ((done >> j) & 1)) continue;
+      if (ops_[j].res < ops_[i].inv) return false;
+    }
+    return true;
+  }
+
+  std::string encode(std::uint64_t done,
+                     const std::vector<std::uint64_t>& queue) const {
+    std::string key(reinterpret_cast<const char*>(&done), sizeof(done));
+    key.append(reinterpret_cast<const char*>(queue.data()),
+               queue.size() * sizeof(std::uint64_t));
+    return key;
+  }
+
+  std::vector<OpRec> ops_;
+  std::size_t capacity_;
+  bool allow_spurious_full_;
+  std::unordered_set<std::string> seen_;
+};
+
+inline bool linearizable_fifo(std::vector<OpRec> ops, std::size_t capacity,
+                              bool allow_spurious_full = false) {
+  return LinChecker(std::move(ops), capacity, allow_spurious_full).check();
+}
+
+}  // namespace wcq::analysis_test

@@ -1,0 +1,245 @@
+// PCT-style cooperative scheduler for the analysis tier (DESIGN.md §11).
+//
+// Probabilistic Concurrency Testing (Burckhardt et al., ASPLOS'10): give
+// every thread a random priority, run the highest-priority runnable thread,
+// and at d randomly chosen steps demote the running thread below everyone
+// else. For programs whose bugs need k ordering constraints, a single run
+// finds them with probability >= 1/(n * t^(k-1)) — so a few hundred seeds
+// cover the small-scope configs explored here many times over.
+//
+// This implementation drives the WCQ_SCHED_POINT annotations compiled into
+// src/ under WCQ_ANALYSIS=1 (or into an individual test binary via a
+// per-target define — the rings are header-only, so any preset can run it):
+//
+//  * Execution is *serialized*: exactly one attached worker runs between two
+//    scheduling points; everyone else blocks on a condition variable. With
+//    decisions drawn from a seeded xoshiro stream, the whole interleaving —
+//    and therefore the (worker, site) byte trace — is a deterministic
+//    function of the seed. Same seed, byte-identical trace; that is what
+//    tests/analysis/test_schedule_determinism.cpp asserts.
+//
+//  * Plain PCT assumes preempted threads stay preempted; lock-free spin
+//    loops (a helper waiting on a peer's phase-1 CAS) would then spin under
+//    the scheduler forever. A quota demotes any worker that has taken
+//    `quota` consecutive steps below all others, so some other thread always
+//    gets the processor — the scheduling-fairness analogue the algorithms'
+//    lock-freedom arguments assume.
+//
+//  * A wall-clock watchdog is the wedge net: if no grant can be handed out
+//    for `watchdog` (a worker blocked in uninstrumented code, a real
+//    deadlock), the scheduler flips to free-running so the test fails with a
+//    diagnosis instead of hanging CTest.
+//
+// Threads the scheduler never attached (the test's main thread constructing
+// the queue, detached teardown work) pass through sched points untouched.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "analysis/sched_point.hpp"
+#include "common/rng.hpp"
+
+namespace wcq::analysis_test {
+
+class PctScheduler {
+ public:
+  struct Config {
+    std::uint64_t seed = 1;
+    unsigned workers = 2;
+    // d: how many forced demotions ("change points") the schedule injects,
+    // at step indices sampled uniformly from [1, horizon].
+    unsigned change_points = 3;
+    std::size_t horizon = 600;
+    // Forced-demotion quota: consecutive own-steps before the running
+    // worker is dropped below everyone else (spin-loop fairness).
+    std::size_t quota = 64;
+    std::chrono::milliseconds watchdog{5000};
+  };
+
+  explicit PctScheduler(const Config& cfg) : cfg_(cfg), ws_(cfg.workers) {
+    Xoshiro256 rng(cfg.seed);
+    // Distinct initial priorities: a random permutation of the workers,
+    // offset high so demotion values (counting down from kDemoteBase) always
+    // rank below every never-demoted worker.
+    std::vector<unsigned> order(cfg.workers);
+    for (unsigned i = 0; i < cfg.workers; ++i) order[i] = i;
+    for (unsigned i = cfg.workers; i > 1; --i) {
+      const auto j = static_cast<unsigned>(rng.bounded(i));
+      const unsigned tmp = order[i - 1];
+      order[i - 1] = order[j];
+      order[j] = tmp;
+    }
+    for (unsigned rank = 0; rank < cfg.workers; ++rank) {
+      ws_[order[rank]].priority = kPriorityBase + cfg.workers - rank;
+    }
+    for (unsigned c = 0; c < cfg.change_points; ++c) {
+      change_steps_.push_back(1 + rng.bounded(cfg.horizon));
+    }
+    trace_.reserve(1 << 14);
+    start_ = std::chrono::steady_clock::now();
+    hooks_.yield = &PctScheduler::yield_tramp;
+    hooks_.ctx = this;
+    analysis::install(&hooks_);
+  }
+
+  ~PctScheduler() { analysis::uninstall(); }
+  PctScheduler(const PctScheduler&) = delete;
+  PctScheduler& operator=(const PctScheduler&) = delete;
+
+  // Worker-side: bind the calling thread to worker index `w` and block until
+  // every worker has attached and this one is granted the processor. The
+  // all-attached gate makes grant decisions independent of OS thread startup
+  // order — a precondition for trace determinism.
+  void attach(unsigned w) {
+    std::unique_lock<std::mutex> lk(mu_);
+    tl_worker() = static_cast<int>(w);
+    ws_[w].attached = true;
+    ++attached_;
+    if (attached_ == cfg_.workers) schedule_locked();
+    cv_.notify_all();
+    wait_for_grant(lk, w);
+  }
+
+  // Worker-side: the worker's script is done. Hands the processor on, then
+  // *holds the thread here* until every worker is finished, so thread-exit
+  // work (registry release, magazine flush hooks) never interleaves with
+  // scheduled code. Deliberately does NOT drain a parked mutation-model
+  // store: a downgraded store that never became visible must stay invisible,
+  // that is the window the mutation self-test exists to catch.
+  void finish() {
+    std::unique_lock<std::mutex> lk(mu_);
+    const int w = tl_worker();
+    ws_[static_cast<unsigned>(w)].finished = true;
+    if (current_ == w) schedule_locked();
+    cv_.notify_all();
+    while (!all_finished_locked() && !free_run_) {
+      if (cv_.wait_for(lk, kPoll) == std::cv_status::timeout) check_watchdog();
+    }
+    tl_worker() = -1;
+    cv_.notify_all();
+  }
+
+  // Steps this worker has executed (its own sched points). The worker reads
+  // its own counter between ops to enforce the per-op wait-freedom budget.
+  std::size_t own_steps(unsigned w) {
+    std::lock_guard<std::mutex> lk(mu_);
+    return ws_[w].steps;
+  }
+
+  // Post-run accessors (call after every worker joined).
+  const std::vector<std::uint8_t>& trace() const { return trace_; }
+  bool watchdog_fired() const { return watchdog_fired_; }
+  std::size_t total_steps() const { return total_steps_; }
+
+ private:
+  static constexpr std::uint64_t kPriorityBase = 1u << 20;
+  static constexpr std::uint64_t kDemoteBase = 1u << 19;
+  static constexpr std::chrono::milliseconds kPoll{100};
+  static constexpr std::size_t kTraceCap = 1u << 22;  // bytes; caps memory
+
+  struct WorkerState {
+    bool attached = false;
+    bool finished = false;
+    std::uint64_t priority = 0;
+    std::size_t steps = 0;
+    std::size_t consecutive = 0;
+  };
+
+  static int& tl_worker() {
+    thread_local int w = -1;
+    return w;
+  }
+
+  static void yield_tramp(void* ctx, analysis::Site site) {
+    static_cast<PctScheduler*>(ctx)->on_point(site);
+  }
+
+  void on_point(analysis::Site site) {
+    const int w = tl_worker();
+    if (w < 0) return;  // not a scheduled worker (main thread, teardown)
+    std::unique_lock<std::mutex> lk(mu_);
+    if (free_run_) return;
+    auto& st = ws_[static_cast<unsigned>(w)];
+    if (trace_.size() < kTraceCap) {
+      trace_.push_back(static_cast<std::uint8_t>(w));
+      trace_.push_back(static_cast<std::uint8_t>(site));
+    }
+    ++total_steps_;
+    ++st.steps;
+    ++st.consecutive;
+    bool demote = false;
+    for (const std::size_t s : change_steps_) {
+      if (s == total_steps_) demote = true;
+    }
+    if (st.consecutive >= cfg_.quota) demote = true;
+    if (demote) {
+      st.priority = demote_next_--;
+      st.consecutive = 0;
+    }
+    schedule_locked();
+    cv_.notify_all();
+    wait_for_grant(lk, static_cast<unsigned>(w));
+  }
+
+  // Grant the highest-priority attached, unfinished worker (or nobody).
+  void schedule_locked() {
+    if (attached_ < cfg_.workers) return;  // start gate still closed
+    int best = -1;
+    std::uint64_t best_prio = 0;
+    for (unsigned i = 0; i < cfg_.workers; ++i) {
+      const auto& st = ws_[i];
+      if (!st.attached || st.finished) continue;
+      if (best < 0 || st.priority > best_prio) {
+        best = static_cast<int>(i);
+        best_prio = st.priority;
+      }
+    }
+    if (best != current_ && best >= 0) {
+      ws_[static_cast<unsigned>(best)].consecutive = 0;
+    }
+    current_ = best;
+  }
+
+  void wait_for_grant(std::unique_lock<std::mutex>& lk, unsigned w) {
+    while (!free_run_ && current_ != static_cast<int>(w)) {
+      if (cv_.wait_for(lk, kPoll) == std::cv_status::timeout) check_watchdog();
+    }
+  }
+
+  bool all_finished_locked() const {
+    for (const auto& st : ws_) {
+      if (!st.finished) return false;
+    }
+    return true;
+  }
+
+  // Called with mu_ held after a poll timeout.
+  void check_watchdog() {
+    if (std::chrono::steady_clock::now() - start_ > cfg_.watchdog) {
+      free_run_ = true;
+      watchdog_fired_ = true;
+      cv_.notify_all();
+    }
+  }
+
+  Config cfg_;
+  analysis::SchedHooks hooks_{};
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<WorkerState> ws_;
+  unsigned attached_ = 0;
+  int current_ = -1;
+  std::uint64_t demote_next_ = kDemoteBase;
+  std::vector<std::size_t> change_steps_;
+  std::size_t total_steps_ = 0;
+  bool free_run_ = false;
+  bool watchdog_fired_ = false;
+  std::vector<std::uint8_t> trace_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace wcq::analysis_test

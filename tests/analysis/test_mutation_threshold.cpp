@@ -1,0 +1,109 @@
+// Mutation self-test (DESIGN.md §11): a schedule explorer that cannot detect
+// a deliberately broken memory ordering proves nothing. This binary is
+// compiled with WCQ_ANALYSIS_MUTATE_THRESHOLD, which routes the threshold
+// re-arm in reset_threshold() through analysis::mutate_deferred_store — the
+// store parks in the arming thread's one-entry "store buffer" and becomes
+// visible only at that thread's next scheduling point, modeling the delayed
+// visibility a downgrade to memory_order_relaxed would be allowed on weak
+// hardware (DESIGN.md §11, THLD-ARM).
+//
+// The window it opens: an enqueuer inserts an element and re-arms the
+// threshold, but the re-arm is not yet visible; a dequeuer that starts
+// *after* the enqueue completed still reads the exhausted threshold and
+// returns empty — a false empty on a provably non-empty queue, which the
+// linearizability checker rejects. The suite asserts the explorer catches
+// this within a bounded number of schedules.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <iostream>
+#include <memory>
+
+#include "core/scq.hpp"
+#include "core/wcq.hpp"
+#include "explore.hpp"
+
+#if !defined(WCQ_ANALYSIS_MUTATE_THRESHOLD)
+#error "this binary must be compiled with WCQ_ANALYSIS_MUTATE_THRESHOLD"
+#endif
+
+namespace wcq {
+namespace {
+
+using analysis_test::OpKind;
+using analysis_test::PctScheduler;
+using analysis_test::Script;
+using analysis_test::linearizable_fifo;
+using analysis_test::run_schedule;
+
+// Schedules allowed before the injected bug must have been flagged. The
+// catching interleaving (enqueuer runs to completion before the dequeuer
+// starts) needs the enqueuer to hold the higher PCT priority throughout —
+// roughly half of all seeds — so 64 is already vast headroom; the full 256
+// budget exists to keep the test meaningful if scripts or scheduler
+// parameters are tuned later.
+constexpr std::uint64_t kMaxSchedules = 256;
+
+// w0: one enqueue — it arms the threshold from its empty-start -1, and that
+// arm is the deferred store. Because it is w0's *last* operation, no later
+// sched point of w0 ever drains the parked store: in every schedule where w0
+// runs to completion first (about half of all priority draws), both of w1's
+// dequeues start after the enqueue's response yet still read the exhausted
+// threshold — deq->empty with one element committed, non-linearizable.
+std::vector<Script> mutation_scripts() {
+  std::vector<Script> scripts(2);
+  scripts[0] = {{OpKind::kEnq, 0}};
+  scripts[1] = {{OpKind::kDeq, 0}, {OpKind::kDeq, 0}};
+  return scripts;
+}
+
+template <typename Adapter, typename MakeQueue>
+void expect_mutation_caught(const char* what, MakeQueue make_queue) {
+  const auto scripts = mutation_scripts();
+  for (std::uint64_t seed = 1; seed <= kMaxSchedules; ++seed) {
+    auto q = make_queue();
+    PctScheduler::Config cfg;
+    cfg.seed = seed;
+    cfg.change_points = 1 + static_cast<unsigned>(seed % 4);
+    const auto r = run_schedule<Adapter>(*q, scripts, cfg);
+    ASSERT_FALSE(r.watchdog_fired) << "scheduler wedged, seed " << seed;
+    if (!linearizable_fifo(r.history, 4, Adapter::kAllowSpuriousFull)) {
+      std::cout << what << ": downgraded threshold store caught at schedule "
+                << seed << " of " << kMaxSchedules << "\n";
+      SUCCEED();
+      return;
+    }
+  }
+  FAIL() << what << ": " << kMaxSchedules
+         << " schedules missed the injected threshold downgrade — the "
+            "explorer has lost its detection power";
+}
+
+TEST(SchedMutation, ScqThresholdDowngradeCaught) {
+  expect_mutation_caught<analysis_test::RingAdapter<SCQ>>(
+      "SCQ", [] { return std::make_unique<SCQ>(2); });
+}
+
+TEST(SchedMutation, WcqThresholdDowngradeCaught) {
+  expect_mutation_caught<analysis_test::RingAdapter<WCQ>>(
+      "WCQ", [] { return std::make_unique<WCQ>(2); });
+}
+
+// With no scheduler installed the mutation hook must pass straight through
+// to the seq_cst store: a mutated binary still behaves correctly outside the
+// harness, so its ordinary unit tests (and this sanity check) stay green.
+TEST(SchedMutation, PassThroughWithoutScheduler) {
+  SCQ q(2);
+  q.enqueue(1);
+  const auto v = q.dequeue();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 1u);
+  EXPECT_FALSE(q.dequeue().has_value());
+  q.enqueue(2);  // re-arm after empty: the mutated path, un-deferred
+  const auto w = q.dequeue();
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ(*w, 2u);
+}
+
+}  // namespace
+}  // namespace wcq

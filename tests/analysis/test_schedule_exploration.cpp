@@ -1,0 +1,119 @@
+// Schedule-exploration suite (DESIGN.md §11): PCT-randomized, preemption-
+// bounded interleavings over small-scope configurations of every ring type,
+// asserting linearizability and a bounded-step wait-freedom budget per op.
+//
+// This binary compiles the (header-only) rings with WCQ_ANALYSIS=1 via a
+// per-target define, so the suite runs in the fast tier under every preset;
+// the `analysis` preset additionally instruments the library TUs (registry,
+// hazard domain) for deeper coverage.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+
+#include "core/bounded_queue.hpp"
+#include "core/scq.hpp"
+#include "core/wcq.hpp"
+#include "core/wcq_llsc.hpp"
+#include "explore.hpp"
+
+namespace wcq {
+namespace {
+
+using analysis_test::OpKind;
+using analysis_test::PctScheduler;
+using analysis_test::Script;
+using analysis_test::linearizable_fifo;
+using analysis_test::pairs_scripts;
+using analysis_test::prodcon_scripts;
+using analysis_test::run_schedule;
+
+// Per-op own-step ceiling. Far above any legitimate small-scope op (tens to
+// a few hundred steps, slow path included) and far below anything a livelock
+// would produce before the watchdog trips — a bounded-step budget, not a
+// tight wait-freedom bound.
+constexpr std::size_t kOpBudget = 20000;
+
+constexpr unsigned kSeeds = 48;
+
+template <typename Adapter, typename MakeQueue>
+void explore(MakeQueue make_queue, const std::vector<Script>& scripts,
+             std::size_t capacity) {
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    auto q = make_queue();
+    PctScheduler::Config cfg;
+    cfg.seed = seed;
+    cfg.change_points = 1 + static_cast<unsigned>(seed % 4);
+    const auto r = run_schedule<Adapter>(*q, scripts, cfg);
+    ASSERT_FALSE(r.watchdog_fired) << "scheduler wedged, seed " << seed;
+    ASSERT_LE(r.max_op_steps, kOpBudget)
+        << "per-op step budget blown, seed " << seed;
+    ASSERT_TRUE(linearizable_fifo(r.history, capacity,
+                                  Adapter::kAllowSpuriousFull))
+        << "non-linearizable history, seed " << seed;
+  }
+}
+
+TEST(SchedExplore, ScqPairs) {
+  explore<analysis_test::RingAdapter<SCQ>>(
+      [] { return std::make_unique<SCQ>(2); }, pairs_scripts(3, 2, false), 4);
+}
+
+TEST(SchedExplore, ScqProdCon) {
+  explore<analysis_test::RingAdapter<SCQ>>(
+      [] { return std::make_unique<SCQ>(2); }, prodcon_scripts(3), 4);
+}
+
+TEST(SchedExplore, WcqPairs) {
+  explore<analysis_test::RingAdapter<WCQ>>(
+      [] { return std::make_unique<WCQ>(2); }, pairs_scripts(3, 2, false), 4);
+}
+
+TEST(SchedExplore, WcqProdCon) {
+  explore<analysis_test::RingAdapter<WCQ>>(
+      [] { return std::make_unique<WCQ>(2); }, prodcon_scripts(3), 4);
+}
+
+// Patience 1 forces nearly every op through the helped slow path (Fig 7),
+// putting the phase-1/phase-2 CAS ladder and the helping protocol under the
+// preemption schedule instead of the fast-path F&As.
+TEST(SchedExplore, WcqSlowPath) {
+  explore<analysis_test::RingAdapter<WCQ>>(
+      [] {
+        return std::make_unique<WCQ>(
+            WCQ::Options{.order = 2, .enq_patience = 1, .deq_patience = 1});
+      },
+      pairs_scripts(2, 2, false), 4);
+}
+
+TEST(SchedExplore, WcqLlscPairs) {
+  explore<analysis_test::RingAdapter<WCQLLSC>>(
+      [] { return std::make_unique<WCQLLSC>(2); }, pairs_scripts(3, 2, false),
+      4);
+}
+
+using BoundedU64 = BoundedQueue<std::uint64_t, WCQ>;
+
+TEST(SchedExplore, BoundedMagazinesOff) {
+  explore<analysis_test::BoundedAdapter<BoundedU64, false>>(
+      [] {
+        return std::make_unique<BoundedU64>(BoundedU64::Options{
+            .order = 2, .magazine = {.enabled = false, .capacity = 0}});
+      },
+      pairs_scripts(3, 2, true), 4);
+}
+
+// With magazines on, a free index parked mid-put can slip past the reclaim
+// sweep, so "full" may be spurious (DESIGN.md §9) — the checker accepts
+// full in any state here; loss, duplication and FIFO breaks still fail.
+TEST(SchedExplore, BoundedMagazinesOn) {
+  explore<analysis_test::BoundedAdapter<BoundedU64, true>>(
+      [] {
+        return std::make_unique<BoundedU64>(BoundedU64::Options{
+            .order = 2, .magazine = {.enabled = true, .capacity = 16}});
+      },
+      pairs_scripts(3, 2, true), 4);
+}
+
+}  // namespace
+}  // namespace wcq
