@@ -1,0 +1,75 @@
+// Topology placement sweep (src/common/topology.hpp, DESIGN.md §12): what
+// the pin policy does to the sharded front-end's throughput and to where
+// its operations complete.
+//
+//   T1  pin-policy sweep on the p5050 workload — the same sharded queue
+//       measured under rr, compact, scatter and node:0 placement. Per-node
+//       Mops show where the work ran; the remote-steal column shows how
+//       often payload crossed the interconnect. Under node:0 every worker
+//       homes on a node-0 shard and the other nodes' shards are never
+//       populated, so remote steals are exactly 0 — the deterministic
+//       property bench/check_topology.py gates CI on (it holds on the
+//       1-core runner because WCQ_TOPOLOGY simulates the 2-node shape and
+//       placement flows through the thread-node override, not real
+//       affinity).
+//
+// Flags as the other drivers; --pin-policy sets the *default* series and is
+// otherwise superseded by the per-series policies below. Run under
+// WCQ_TOPOLOGY="0-1;2-3" to see the multi-node behavior on any host.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/topology.hpp"
+#include "harness/adapters.hpp"
+#include "harness/runner.hpp"
+
+namespace wcq::bench {
+namespace {
+
+template <typename Adapter>
+Series run_named(const BenchParams& p, std::string name) {
+  Series s;
+  s.name = std::move(name);
+  for (unsigned t : p.thread_counts) {
+    std::fprintf(stderr, "  [%s] %u thread(s)...\n", s.name.c_str(), t);
+    s.points.push_back(measure_point<Adapter>(p, t));
+  }
+  return s;
+}
+
+void run_topology(BenchParams p) {
+  const Topology& topo = Topology::instance();
+  JsonReport report;
+
+  BenchParams q = p;
+  q.workload = Workload::kP5050;
+  print_preamble("Topology T1",
+                 "pin-policy sweep, p5050 workload, sharded front-end", q);
+  std::printf("# topology: %u node(s), %u cpu(s)%s, shards=%u\n",
+              topo.node_count(), topo.cpu_count(),
+              topo.simulated() ? " (simulated via WCQ_TOPOLOGY)" : "",
+              sharded_shard_count());
+
+  std::vector<std::string> policies = {"rr", "compact", "scatter", "node:0"};
+  std::vector<Series> series;
+  for (const auto& pol : policies) {
+    BenchParams r = q;
+    r.pin_policy = pol;
+    series.push_back(run_named<ShardedAdapter>(r, "Sharded " + pol));
+  }
+  print_throughput_table(series, q.thread_counts);
+  print_node_table(series, q.thread_counts);
+  print_cv_note(series);
+  report.add_panel("T1 pin-policy sweep (p5050, sharded)", q, series);
+
+  if (!p.json_path.empty()) report.write(p.json_path);
+}
+
+}  // namespace
+}  // namespace wcq::bench
+
+int main(int argc, char** argv) {
+  wcq::bench::run_topology(wcq::bench::BenchParams::parse(argc, argv));
+  return 0;
+}

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Assert the topology-placement counter targets from a bench report.
+
+Reads the JSON written by bench_topology (--json=...) and requires that, on
+the p5050 panel, the node-confined series ("Sharded node:0" by default)
+completed exactly zero operations on a remote node's shard at every measured
+thread count. Under node:<k> placement every worker's home shard is local
+and the other nodes' shards are never populated, so any remote completion
+is a broken home-shard mapping or sweep order — this is a determinism
+property of the placement, not a performance threshold, which is what makes
+it gateable on a noisy 1-core CI host under a simulated WCQ_TOPOLOGY shape
+(DESIGN.md §12).
+
+The report must also carry per-node throughput (node_mops_mean) for the
+gated series, proving placement attribution ran; under node:0 all
+throughput must sit in node 0's bucket.
+
+Usage: check_topology.py REPORT.json [--workload p5050]
+                         [--series "Sharded node:0"] [--node 0]
+Exit status: 0 on pass, 1 on a missed target or malformed report.
+"""
+
+import argparse
+import json
+import sys
+
+GATED_SERIES = "Sharded node:0"
+
+
+def series_points(panel, name):
+    for series in panel.get("series", []):
+        if series.get("name") == name:
+            return {p["threads"]: p for p in series.get("points", [])}
+    return None
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("report", help="JSON written by bench_topology --json=...")
+    ap.add_argument("--workload", default="p5050",
+                    help="panel workload to check (default: p5050)")
+    ap.add_argument("--series", default=GATED_SERIES,
+                    help=f"node-confined series name "
+                         f"(default: {GATED_SERIES!r})")
+    ap.add_argument("--node", type=int, default=0,
+                    help="node the series is confined to (default: 0)")
+    args = ap.parse_args()
+
+    with open(args.report) as f:
+        report = json.load(f)
+
+    panels = [p for p in report.get("panels", [])
+              if p.get("workload") == args.workload]
+    if not panels:
+        print(f"check_topology: no '{args.workload}' panel in {args.report}")
+        return 1
+
+    failures = 0
+    checked = 0
+    for panel in panels:
+        pts = series_points(panel, args.series)
+        if pts is None:
+            print(f"check_topology: panel '{panel.get('caption')}' lacks "
+                  f"'{args.series}' series")
+            return 1
+        for threads in sorted(pts):
+            pt = pts[threads]
+            steal = pt.get("remote_steal_per_op_mean")
+            if steal is None:
+                print("check_topology: report lacks remote_steal_per_op_mean "
+                      "— counters out of date?")
+                return 1
+            checked += 1
+            verdict = "ok" if steal == 0.0 else "FAIL"
+            print(f"check_topology: [{panel.get('caption')}] "
+                  f"threads={threads} remote_steal/op {steal:.6f} "
+                  f"(need 0) {verdict}")
+            if steal != 0.0:
+                failures += 1
+
+            nodes = pt.get("node_mops_mean")
+            if not nodes:
+                print(f"check_topology: threads={threads} lacks per-node "
+                      f"throughput (bench run unpinned?)")
+                failures += 1
+                continue
+            total = sum(nodes)
+            local = nodes[args.node] if args.node < len(nodes) else 0.0
+            if total > 0 and local != total:
+                print(f"check_topology: threads={threads} throughput "
+                      f"leaked off node {args.node}: {nodes} FAIL")
+                failures += 1
+
+    if checked == 0:
+        print("check_topology: no comparable points found")
+        return 1
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

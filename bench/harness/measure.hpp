@@ -66,6 +66,13 @@ struct PointResult {
   Summary registry;    // ThreadRegistry tid()/high_water() lookups per op
                        // (the session-handle metric, DESIGN.md §10; the CI
                        // gate holds the handle path at ≤1 per op)
+  Summary remote_steal;  // ShardedQueue ops completed on a remote node's
+                         // shard, per executed op (DESIGN.md §12; 0 for
+                         // non-sharded queues, and the node-partitioned CI
+                         // gate holds node:<k> placement at exactly 0)
+  // Per-node throughput, node_mops[k] = Mops executed by workers placed on
+  // node k under the pin policy (empty when unpinned: placement unknown).
+  std::vector<Summary> node_mops;
 };
 
 namespace detail {
@@ -332,10 +339,16 @@ PointResult measure_point(const BenchParams& p, unsigned threads) {
   // force that outside the measured window so the first hazard-using
   // series does not absorb a one-time charge into its run-0 samples.
   (void)HazardDomain::global();
+  const Topology& topo = Topology::instance();
+  const Topology::PinSpec pin_spec =
+      Topology::parse_pin_spec(p.pin_policy).value_or(Topology::PinSpec{});
+  // Per-node attribution needs a known placement; unpinned workers float.
+  const unsigned node_buckets = p.pin ? topo.node_count() : 0;
   PointResult result;
   result.threads = threads;
   std::vector<double> mops_samples, live_samples, peak_samples, rss_samples,
-      alloc_samples, faa_samples, thld_samples, reg_samples;
+      alloc_samples, faa_samples, thld_samples, reg_samples, steal_samples;
+  std::vector<std::vector<double>> node_samples(node_buckets);
   mops_samples.reserve(p.runs);
   live_samples.reserve(p.runs);
   peak_samples.reserve(p.runs);
@@ -344,6 +357,7 @@ PointResult measure_point(const BenchParams& p, unsigned threads) {
   faa_samples.reserve(p.runs);
   thld_samples.reserve(p.runs);
   reg_samples.reserve(p.runs);
+  steal_samples.reserve(p.runs);
 
   for (unsigned run = 0; run < p.runs; ++run) {
     alloc_meter::reset_peak();
@@ -359,12 +373,12 @@ PointResult measure_point(const BenchParams& p, unsigned threads) {
     const u64 remainder = p.ops % threads;
     std::vector<u64> executed(threads, 0);
     std::vector<u64> faa_delta(threads, 0), thld_delta(threads, 0),
-        reg_delta(threads, 0);
+        reg_delta(threads, 0), steal_delta(threads, 0);
     std::vector<std::thread> ts;
     ts.reserve(threads);
     for (unsigned t = 0; t < threads; ++t) {
       ts.emplace_back([&, t] {
-        if (p.pin) pin_thread(t);
+        if (p.pin) pin_thread(t, pin_spec, topo);
         const u64 my_ops = per_thread + (t < remainder ? 1 : 0);
         // Session attach (handle adapters) happens here, outside the
         // measured window and the counter snapshots: a pool worker pays it
@@ -378,6 +392,7 @@ PointResult measure_point(const BenchParams& p, unsigned threads) {
         faa_delta[t] = after.faa - before.faa;
         thld_delta[t] = after.threshold - before.threshold;
         reg_delta[t] = after.registry - before.registry;
+        steal_delta[t] = after.remote_steal - before.remote_steal;
       });
     }
     while (ready.load(std::memory_order_acquire) < threads) cpu_relax();
@@ -391,14 +406,29 @@ PointResult measure_point(const BenchParams& p, unsigned threads) {
     for (const u64 e : executed) total_ops += e;
     mops_samples.push_back(static_cast<double>(total_ops) / secs / 1e6);
 
-    u64 total_faa = 0, total_thld = 0, total_reg = 0;
+    u64 total_faa = 0, total_thld = 0, total_reg = 0, total_steal = 0;
     for (const u64 f : faa_delta) total_faa += f;
     for (const u64 d : thld_delta) total_thld += d;
     for (const u64 r : reg_delta) total_reg += r;
+    for (const u64 s : steal_delta) total_steal += s;
     const double ops_norm = total_ops > 0 ? static_cast<double>(total_ops) : 1.0;
     faa_samples.push_back(static_cast<double>(total_faa) / ops_norm);
     thld_samples.push_back(static_cast<double>(total_thld) / ops_norm);
     reg_samples.push_back(static_cast<double>(total_reg) / ops_norm);
+    steal_samples.push_back(static_cast<double>(total_steal) / ops_norm);
+
+    // Per-node throughput: worker t's executed ops are attributed to the
+    // node the pin policy placed it on (deterministic by construction).
+    if (node_buckets > 0) {
+      std::vector<u64> node_ops(node_buckets, 0);
+      for (unsigned t = 0; t < threads; ++t) {
+        node_ops[topo.node_for(pin_spec, t)] += executed[t];
+      }
+      for (unsigned k = 0; k < node_buckets; ++k) {
+        node_samples[k].push_back(static_cast<double>(node_ops[k]) / secs /
+                                  1e6);
+      }
+    }
 
     live_samples.push_back(
         static_cast<double>(alloc_meter::live_bytes() - live_before));
@@ -417,6 +447,11 @@ PointResult measure_point(const BenchParams& p, unsigned threads) {
   result.ring_faa = summarize(faa_samples);
   result.ring_thld = summarize(thld_samples);
   result.registry = summarize(reg_samples);
+  result.remote_steal = summarize(steal_samples);
+  result.node_mops.reserve(node_buckets);
+  for (unsigned k = 0; k < node_buckets; ++k) {
+    result.node_mops.push_back(summarize(node_samples[k]));
+  }
   return result;
 }
 

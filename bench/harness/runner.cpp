@@ -8,9 +8,10 @@ namespace wcq::bench {
 void print_preamble(const char* figure, const char* caption,
                     const BenchParams& p) {
   std::printf("# %s — %s\n", figure, caption);
-  std::printf("# workload=%s ops=%llu runs=%u pin=%d\n",
+  std::printf("# workload=%s ops=%llu runs=%u pin=%d policy=%s\n",
               workload_name(p.workload),
-              static_cast<unsigned long long>(p.ops), p.runs, p.pin ? 1 : 0);
+              static_cast<unsigned long long>(p.ops), p.runs, p.pin ? 1 : 0,
+              p.pin_policy.c_str());
   std::printf(
       "# (paper scale: WCQ_BENCH_FULL=1 or --full → 10 runs x 10M ops)\n");
 }
@@ -121,6 +122,35 @@ void print_registry_table(const std::vector<Series>& series,
   }
 }
 
+void print_node_table(const std::vector<Series>& series,
+                      const std::vector<unsigned>& threads) {
+  std::printf("threads");
+  for (const auto& s : series) {
+    std::printf(",%s[node*|steals]", s.name.c_str());
+  }
+  std::printf("   (per-node Mops | remote steals per op)\n");
+  for (unsigned t : threads) {
+    std::printf("%7u", t);
+    for (const auto& s : series) {
+      const PointResult* pt = find_point(s, t);
+      if (pt == nullptr) {
+        std::printf(",-");
+        continue;
+      }
+      std::printf(",");
+      if (pt->node_mops.empty()) {
+        std::printf("unpinned");
+      } else {
+        for (std::size_t k = 0; k < pt->node_mops.size(); ++k) {
+          std::printf("%s%.2f", k == 0 ? "" : "/", pt->node_mops[k].mean);
+        }
+      }
+      std::printf("|%.3f", pt->remote_steal.mean);
+    }
+    std::printf("\n");
+  }
+}
+
 void print_cv_note(const std::vector<Series>& series) {
   double worst = 0.0;
   for (const auto& s : series) {
@@ -172,11 +202,18 @@ bool JsonReport::write(const std::string& path) const {
                      "\"peak_bytes_mean\": %.1f, \"rss_bytes_mean\": %.1f, "
                      "\"allocs_mean\": %.1f, \"ring_faa_per_op_mean\": %.6f, "
                      "\"ring_thld_per_op_mean\": %.6f, "
-                     "\"registry_per_op_mean\": %.6f}%s\n",
+                     "\"registry_per_op_mean\": %.6f, "
+                     "\"remote_steal_per_op_mean\": %.6f, "
+                     "\"node_mops_mean\": [",
                      pt.threads, pt.mops.mean, pt.mops.cv, pt.live_bytes.mean,
                      pt.peak_bytes.mean, pt.rss_bytes.mean, pt.allocs.mean,
                      pt.ring_faa.mean, pt.ring_thld.mean, pt.registry.mean,
-                     qi + 1 < s.points.size() ? "," : "");
+                     pt.remote_steal.mean);
+        for (std::size_t k = 0; k < pt.node_mops.size(); ++k) {
+          std::fprintf(f, "%s%.6f", k == 0 ? "" : ", ",
+                       pt.node_mops[k].mean);
+        }
+        std::fprintf(f, "]}%s\n", qi + 1 < s.points.size() ? "," : "");
       }
       std::fprintf(f, "      ]}%s\n",
                    si + 1 < p.series.size() ? "," : "");

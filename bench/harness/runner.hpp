@@ -38,6 +38,12 @@ void print_ringops_table(const std::vector<Series>& series,
 // amortized help-check refresh (~1/HELP_DELAY).
 void print_registry_table(const std::vector<Series>& series,
                           const std::vector<unsigned>& threads);
+// Topology placement metrics (DESIGN.md §12): per-node Mops under the pin
+// policy plus ShardedQueue ops that completed on a remote node's shard per
+// executed op (0.000 everywhere under node-confined placement — the
+// bench/check_topology.py CI gate).
+void print_node_table(const std::vector<Series>& series,
+                      const std::vector<unsigned>& threads);
 void print_cv_note(const std::vector<Series>& series);
 
 // Machine-readable run report: drivers add one panel per table they print

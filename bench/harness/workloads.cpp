@@ -1,6 +1,7 @@
 #include "harness/workloads.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstring>
 
 #include "common/cpu.hpp"
@@ -78,6 +79,7 @@ BenchParams BenchParams::parse(int argc, char** argv) {
   p.ops = env_u64("WCQ_BENCH_OPS", p.ops);
   p.runs = static_cast<unsigned>(env_u64("WCQ_BENCH_RUNS", p.runs));
   p.pin = env_flag("WCQ_BENCH_PIN", p.pin);
+  p.pin_policy = env_str("WCQ_BENCH_PIN_POLICY", p.pin_policy);
   p.batch = static_cast<unsigned>(env_u64("WCQ_BENCH_BATCH", p.batch));
   if (env_flag("WCQ_BENCH_FULL", false)) {
     p.ops = 10'000'000;
@@ -104,6 +106,8 @@ BenchParams BenchParams::parse(int argc, char** argv) {
       p.batch = static_cast<unsigned>(std::stoul(v));
     } else if (flag_value(argv[i], "--json", v)) {
       p.json_path = v;
+    } else if (flag_value(argv[i], "--pin-policy", v)) {
+      p.pin_policy = v;
     } else if (flag_value(argv[i], "--only", v)) {
       p.only = parse_names(v);
     } else if (std::strcmp(argv[i], "--no-pin") == 0) {
@@ -117,6 +121,11 @@ BenchParams BenchParams::parse(int argc, char** argv) {
   if (p.runs == 0) p.runs = 1;
   if (p.batch == 0) p.batch = 1;
   if (p.batch > kMaxBatch) p.batch = kMaxBatch;
+  if (!Topology::parse_pin_spec(p.pin_policy)) {
+    std::fprintf(stderr, "wcq-bench: unknown pin policy '%s', using rr\n",
+                 p.pin_policy.c_str());
+    p.pin_policy = "rr";
+  }
   return p;
 }
 

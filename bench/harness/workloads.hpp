@@ -42,6 +42,12 @@ struct BenchParams {
   std::uint64_t ops = 200000;  // total operations per measurement run
   unsigned runs = 3;
   bool pin = true;
+  // Placement policy when pinning: "rr" (round-robin over all CPUs, the
+  // legacy default), "compact" (fill a node, one hyperthread per core
+  // first), "scatter" (round-robin across nodes), "node:<k>" (confine to
+  // node k — the shape behind the remote_steal==0 gate). Resolved against
+  // Topology::instance(), so WCQ_TOPOLOGY simulated shapes apply.
+  std::string pin_policy = "rr";
   Workload workload = Workload::kPairs;
   // memory workload: delay up to this many spin iterations between ops
   unsigned max_delay_spins = 64;
@@ -54,7 +60,8 @@ struct BenchParams {
 
   // Parse --threads=1,2,4 --ops=N --runs=N
   // --workload=pairs|p5050|empty|memory|burst --batch=N --json=PATH
-  // --no-pin --full --only=wCQ,SCQ  plus WCQ_BENCH_* env fallbacks.
+  // --no-pin --pin-policy=rr|compact|scatter|node:<k> --full
+  // --only=wCQ,SCQ  plus WCQ_BENCH_* env fallbacks.
   static BenchParams parse(int argc, char** argv);
 
   bool selected(const std::string& queue_name) const;

@@ -16,6 +16,13 @@
 //               Counted inside the registry itself so every layer's lookup
 //               is captured; the handle CI gate (bench/check_ringops.py)
 //               requires the explicit-handle path to stay ≤ 1 per op.
+//   remote_steal — ShardedQueue operations that *succeeded* on a shard homed
+//               on a different NUMA node than the calling session
+//               (DESIGN.md §12). Failed probes of remote shards during a
+//               sweep are free of side effects and not counted; a nonzero
+//               count means payload actually crossed the interconnect. The
+//               topology CI gate (bench/check_topology.py) requires exactly
+//               0 under node-partitioned placement.
 //
 // The counters are plain thread-local increments (one add on a core-private
 // line, no atomics), cheap enough to keep unconditionally enabled; the bench
@@ -30,6 +37,7 @@ struct Counters {
   std::uint64_t faa = 0;
   std::uint64_t threshold = 0;
   std::uint64_t registry = 0;
+  std::uint64_t remote_steal = 0;
 };
 
 // Function-local thread_local rather than an extern TLS object: GCC's
@@ -46,6 +54,7 @@ inline Counters& tls_counters() noexcept {
 inline void count_faa() { ++tls_counters().faa; }
 inline void count_threshold() { ++tls_counters().threshold; }
 inline void count_registry() { ++tls_counters().registry; }
+inline void count_remote_steal() { ++tls_counters().remote_steal; }
 
 // Snapshot of this thread's counters (diff two snapshots around a workload).
 inline Counters snapshot() { return tls_counters(); }

@@ -1,0 +1,405 @@
+#include "common/topology.hpp"
+
+#include <sched.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+namespace wcq {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+thread_local unsigned t_node_override = Topology::kUnsetNode;
+
+// Linux cpulist: "0-3,8,10-11". Returns false on any malformed token; an
+// empty list parses to an empty vector (valid: a memory-only NUMA node has
+// an empty cpulist).
+bool parse_cpulist(const std::string& s, std::vector<unsigned>& out) {
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    while (pos < s.size() && (s[pos] == ',' || s[pos] == ' ')) ++pos;
+    if (pos >= s.size() || s[pos] == '\n') break;
+    char* end = nullptr;
+    const unsigned long lo = std::strtoul(s.c_str() + pos, &end, 10);
+    if (end == s.c_str() + pos) return false;
+    unsigned long hi = lo;
+    pos = static_cast<std::size_t>(end - s.c_str());
+    if (pos < s.size() && s[pos] == '-') {
+      ++pos;
+      hi = std::strtoul(s.c_str() + pos, &end, 10);
+      if (end == s.c_str() + pos || hi < lo) return false;
+      pos = static_cast<std::size_t>(end - s.c_str());
+    }
+    for (unsigned long c = lo; c <= hi; ++c) {
+      out.push_back(static_cast<unsigned>(c));
+    }
+  }
+  return true;
+}
+
+bool read_file(const fs::path& p, std::string& out) {
+  std::ifstream f(p);
+  if (!f) return false;
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+// Numeric suffix of a "nodeN"/"cpuN" directory name; nullopt otherwise.
+std::optional<unsigned> dir_index(const std::string& name,
+                                  const char* prefix) {
+  const std::size_t plen = std::strlen(prefix);
+  if (name.size() <= plen || name.compare(0, plen, prefix) != 0) {
+    return std::nullopt;
+  }
+  for (std::size_t i = plen; i < name.size(); ++i) {
+    if (name[i] < '0' || name[i] > '9') return std::nullopt;
+  }
+  return static_cast<unsigned>(std::strtoul(name.c_str() + plen, nullptr, 10));
+}
+
+unsigned online_cpus() {
+  const long n = ::sysconf(_SC_NPROCESSORS_ONLN);
+  return n > 0 ? static_cast<unsigned>(n) : 1u;
+}
+
+}  // namespace
+
+Topology Topology::flat(unsigned cpus) {
+  Topology t;
+  Node n;
+  n.id = 0;
+  for (unsigned c = 0; c < (cpus == 0 ? 1u : cpus); ++c) {
+    n.cpus.push_back(c);
+  }
+  t.nodes_.push_back(std::move(n));
+  t.finalize();
+  return t;
+}
+
+std::optional<Topology> Topology::from_spec(const std::string& spec) {
+  Topology t;
+  t.simulated_ = true;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t semi = spec.find(';', pos);
+    const std::string tok =
+        spec.substr(pos, semi == std::string::npos ? semi : semi - pos);
+    std::vector<unsigned> cpus;
+    if (!parse_cpulist(tok, cpus) || cpus.empty()) return std::nullopt;
+    Node n;
+    n.id = static_cast<unsigned>(t.nodes_.size());
+    n.cpus = std::move(cpus);
+    t.nodes_.push_back(std::move(n));
+    if (semi == std::string::npos) break;
+    pos = semi + 1;
+  }
+  if (t.nodes_.empty()) return std::nullopt;
+  t.finalize();
+  return t;
+}
+
+std::optional<Topology> Topology::from_sysfs(const std::string& root,
+                                             bool simulated) {
+  std::error_code ec;
+  Topology t;
+  t.simulated_ = simulated;
+
+  // NUMA layer: node/node*/cpulist. Memory-only nodes (empty cpulist) are
+  // skipped — placement here is about CPUs, and a node no thread can run on
+  // would only produce unreachable shard groups.
+  struct RawNode {
+    unsigned id;
+    std::vector<unsigned> cpus;
+  };
+  std::vector<RawNode> raw;
+  const fs::path node_dir = fs::path(root) / "node";
+  if (fs::is_directory(node_dir, ec)) {
+    for (const auto& e : fs::directory_iterator(node_dir, ec)) {
+      const auto idx = dir_index(e.path().filename().string(), "node");
+      if (!idx) continue;
+      std::string list;
+      if (!read_file(e.path() / "cpulist", list)) continue;
+      std::vector<unsigned> cpus;
+      if (!parse_cpulist(list, cpus) || cpus.empty()) continue;
+      std::sort(cpus.begin(), cpus.end());
+      raw.push_back({*idx, std::move(cpus)});
+    }
+  }
+  std::sort(raw.begin(), raw.end(),
+            [](const RawNode& a, const RawNode& b) { return a.id < b.id; });
+
+  if (raw.empty()) {
+    // No NUMA information: fall back to one node over whatever cpu/cpu*
+    // directories exist (fixtures) or the online count (live machine).
+    std::vector<unsigned> cpus;
+    const fs::path cpu_dir = fs::path(root) / "cpu";
+    if (fs::is_directory(cpu_dir, ec)) {
+      for (const auto& e : fs::directory_iterator(cpu_dir, ec)) {
+        if (const auto idx = dir_index(e.path().filename().string(), "cpu")) {
+          cpus.push_back(*idx);
+        }
+      }
+      std::sort(cpus.begin(), cpus.end());
+    }
+    if (cpus.empty()) {
+      if (simulated) return std::nullopt;  // fixture with nothing to parse
+      for (unsigned c = 0; c < online_cpus(); ++c) cpus.push_back(c);
+    }
+    Node n;
+    n.id = 0;
+    n.cpus = std::move(cpus);
+    t.nodes_.push_back(std::move(n));
+  } else {
+    // Dense re-index (sysfs node ids may be sparse); the distance matrix is
+    // remapped with the same table below.
+    for (const auto& rn : raw) {
+      Node n;
+      n.id = static_cast<unsigned>(t.nodes_.size());
+      n.cpus = rn.cpus;
+      t.nodes_.push_back(std::move(n));
+    }
+    // Distances: node/node<raw id>/distance is a space-separated row of the
+    // full matrix indexed by raw node id. Keep only the columns of nodes we
+    // kept, in dense order.
+    t.dist_.resize(t.nodes_.size());
+    bool have_all = true;
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+      std::string row;
+      if (!read_file(node_dir / ("node" + std::to_string(raw[i].id)) /
+                         "distance",
+                     row)) {
+        have_all = false;
+        break;
+      }
+      std::vector<unsigned> cols;
+      std::istringstream ss(row);
+      unsigned v = 0;
+      while (ss >> v) cols.push_back(v);
+      for (const auto& rn : raw) {
+        if (rn.id < cols.size()) {
+          t.dist_[i].push_back(cols[rn.id]);
+        } else {
+          have_all = false;
+        }
+      }
+      if (!have_all) break;
+    }
+    if (!have_all) t.dist_.clear();  // partial matrix: use ring order
+  }
+
+  // SMT layer: cpu/cpu*/topology/core_id, disambiguated by package id so two
+  // sockets' "core 0" stay distinct cores.
+  const fs::path cpu_dir = fs::path(root) / "cpu";
+  if (fs::is_directory(cpu_dir, ec)) {
+    std::unordered_map<std::uint64_t, unsigned> core_key_to_id;
+    struct CoreInfo {
+      unsigned cpu, core, pkg;
+    };
+    std::vector<CoreInfo> infos;
+    for (const auto& e : fs::directory_iterator(cpu_dir, ec)) {
+      const auto idx = dir_index(e.path().filename().string(), "cpu");
+      if (!idx) continue;
+      std::string core_s, pkg_s;
+      if (!read_file(e.path() / "topology" / "core_id", core_s)) continue;
+      const unsigned core =
+          static_cast<unsigned>(std::strtoul(core_s.c_str(), nullptr, 10));
+      unsigned pkg = 0;
+      if (read_file(e.path() / "topology" / "physical_package_id", pkg_s)) {
+        pkg = static_cast<unsigned>(std::strtoul(pkg_s.c_str(), nullptr, 10));
+      }
+      infos.push_back({*idx, core, pkg});
+    }
+    std::sort(infos.begin(), infos.end(),
+              [](const CoreInfo& a, const CoreInfo& b) { return a.cpu < b.cpu; });
+    unsigned max_cpu = 0;
+    for (const auto& ci : infos) max_cpu = std::max(max_cpu, ci.cpu);
+    t.cpu_core_.assign(max_cpu + 1, kUnsetNode);
+    for (const auto& ci : infos) {
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(ci.pkg) << 32) | ci.core;
+      const auto [it, fresh] =
+          core_key_to_id.emplace(key, static_cast<unsigned>(core_key_to_id.size()));
+      (void)fresh;
+      t.cpu_core_[ci.cpu] = it->second;
+    }
+  }
+
+  t.finalize();
+  return t;
+}
+
+Topology Topology::detect() {
+  if (auto t = from_sysfs("/sys/devices/system", /*simulated=*/false)) {
+    return *std::move(t);
+  }
+  return flat(online_cpus());
+}
+
+const Topology& Topology::instance() {
+  static const Topology t = [] {
+    const char* env = std::getenv("WCQ_TOPOLOGY");
+    if (env != nullptr && *env != '\0') {
+      const std::string s(env);
+      std::optional<Topology> parsed;
+      if (s.rfind("sysfs:", 0) == 0) {
+        parsed = from_sysfs(s.substr(6), /*simulated=*/true);
+      } else {
+        parsed = from_spec(s);
+      }
+      if (parsed) return *std::move(parsed);
+      std::fprintf(stderr,
+                   "wcq: ignoring malformed WCQ_TOPOLOGY=\"%s\" "
+                   "(want \"0-1;2-3\" or \"sysfs:/path\")\n",
+                   env);
+    }
+    return detect();
+  }();
+  return t;
+}
+
+void Topology::finalize() {
+  // cpu -> node map (dense array over the max cpu id; gaps map to node 0 via
+  // node_of_cpu's bounds check).
+  unsigned max_cpu = 0;
+  cpu_total_ = 0;
+  for (const auto& n : nodes_) {
+    for (unsigned c : n.cpus) max_cpu = std::max(max_cpu, c);
+    cpu_total_ += static_cast<unsigned>(n.cpus.size());
+  }
+  cpu_node_.assign(max_cpu + 1, kUnsetNode);
+  for (const auto& n : nodes_) {
+    for (unsigned c : n.cpus) cpu_node_[c] = n.id;
+  }
+
+  // Round-robin order: every cpu in id order (the legacy pin_thread walk).
+  rr_order_.clear();
+  for (const auto& n : nodes_) {
+    rr_order_.insert(rr_order_.end(), n.cpus.begin(), n.cpus.end());
+  }
+  std::sort(rr_order_.begin(), rr_order_.end());
+
+  // Compact order: node by node; within a node, one cpu per physical core
+  // first, then the second SMT siblings, and so on — threads spread over
+  // real cores before doubling up on hyperthreads.
+  compact_order_.clear();
+  for (const auto& n : nodes_) {
+    std::unordered_map<unsigned, unsigned> seen;  // core -> siblings placed
+    std::vector<std::pair<unsigned, unsigned>> keyed;  // (sibling rank, cpu)
+    for (unsigned c : n.cpus) {
+      const unsigned core = core_of_cpu(c);
+      keyed.emplace_back(seen[core]++, c);
+    }
+    std::stable_sort(keyed.begin(), keyed.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first < b.first;
+                     });
+    for (const auto& [rank, cpu] : keyed) {
+      (void)rank;
+      compact_order_.push_back(cpu);
+    }
+  }
+
+  // Remote order per node: by the distance matrix when present (ties and
+  // missing matrices fall back to ring order node+1, node+2, ...).
+  const unsigned m = node_count();
+  remote_order_.assign(m, {});
+  for (unsigned a = 0; a < m; ++a) {
+    std::vector<unsigned> others;
+    for (unsigned d = 1; d < m; ++d) others.push_back((a + d) % m);
+    if (dist_.size() == m) {
+      std::stable_sort(others.begin(), others.end(),
+                       [&](unsigned x, unsigned y) {
+                         return dist_[a][x] < dist_[a][y];
+                       });
+    }
+    remote_order_[a] = std::move(others);
+  }
+}
+
+unsigned Topology::node_of_cpu(unsigned cpu) const {
+  if (cpu < cpu_node_.size() && cpu_node_[cpu] != kUnsetNode) {
+    return cpu_node_[cpu];
+  }
+  return 0;
+}
+
+unsigned Topology::core_of_cpu(unsigned cpu) const {
+  if (cpu < cpu_core_.size() && cpu_core_[cpu] != kUnsetNode) {
+    return cpu_core_[cpu];
+  }
+  return cpu;  // no SMT information: every cpu is its own core
+}
+
+unsigned Topology::cpu_for(const PinSpec& spec, unsigned index) const {
+  switch (spec.policy) {
+    case PinPolicy::kRoundRobin:
+      return rr_order_[index % rr_order_.size()];
+    case PinPolicy::kCompact:
+      return compact_order_[index % compact_order_.size()];
+    case PinPolicy::kScatter: {
+      const unsigned m = node_count();
+      const Node& n = nodes_[index % m];
+      return n.cpus[(index / m) % n.cpus.size()];
+    }
+    case PinPolicy::kNode: {
+      const Node& n = nodes_[spec.node % node_count()];
+      return n.cpus[index % n.cpus.size()];
+    }
+  }
+  return rr_order_[index % rr_order_.size()];
+}
+
+unsigned Topology::current_node() const {
+  const unsigned o = t_node_override;
+  if (o != kUnsetNode) return o % node_count();
+  const int cpu = ::sched_getcpu();
+  if (cpu >= 0) return node_of_cpu(static_cast<unsigned>(cpu));
+  return 0;
+}
+
+std::optional<Topology::PinSpec> Topology::parse_pin_spec(
+    const std::string& s) {
+  if (s.empty() || s == "rr" || s == "round-robin") {
+    return PinSpec{PinPolicy::kRoundRobin, 0};
+  }
+  if (s == "compact") return PinSpec{PinPolicy::kCompact, 0};
+  if (s == "scatter") return PinSpec{PinPolicy::kScatter, 0};
+  if (s.rfind("node:", 0) == 0) {
+    char* end = nullptr;
+    const unsigned long k = std::strtoul(s.c_str() + 5, &end, 10);
+    if (end == s.c_str() + 5 || *end != '\0') return std::nullopt;
+    return PinSpec{PinPolicy::kNode, static_cast<unsigned>(k)};
+  }
+  return std::nullopt;
+}
+
+const char* Topology::policy_name(PinPolicy p) {
+  switch (p) {
+    case PinPolicy::kRoundRobin:
+      return "rr";
+    case PinPolicy::kCompact:
+      return "compact";
+    case PinPolicy::kScatter:
+      return "scatter";
+    case PinPolicy::kNode:
+      return "node";
+  }
+  return "?";
+}
+
+void Topology::set_thread_node(unsigned node) { t_node_override = node; }
+
+unsigned Topology::thread_node_override() { return t_node_override; }
+
+}  // namespace wcq

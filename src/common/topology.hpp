@@ -1,0 +1,160 @@
+// Machine topology: NUMA nodes, their CPUs, SMT siblings and interconnect
+// distances, behind one immutable `Topology` object (DESIGN.md §12).
+//
+// The paper measures on one socket ("x86-64's throughput peaks for 18
+// threads (all 18 threads can fit just one physical CPU)"); past that point
+// the cost model changes — a cache line bouncing across the interconnect is
+// several times a within-socket transfer — so every scaling layer here
+// (shard placement, segment-pool partitioning, the steal sweep, pinning
+// policies) keys off this object instead of treating the machine as flat.
+//
+// Sources, in precedence order:
+//   1. WCQ_TOPOLOGY=<spec>       — simulated topology, e.g. "0-1;2-3" (two
+//      nodes of two CPUs). Deterministic: CI and 1-core hosts exercise
+//      multi-node shapes without the hardware.
+//   2. WCQ_TOPOLOGY=sysfs:<dir>  — parse a sysfs-like tree rooted at <dir>
+//      (committed fixture trees under tests/fixtures/sysfs drive the parser
+//      tests through exactly the production code path).
+//   3. /sys/devices/system       — the live machine.
+//   4. Flat fallback             — one node holding every online CPU (no
+//      /sys, containers, non-Linux). All placement degenerates to the
+//      pre-topology behavior.
+//
+// A *simulated* topology (1, 2) never issues affinity syscalls — its CPU ids
+// need not exist on the live machine. Instead, pinning under a simulated
+// topology records the target node in a thread-local override, which
+// current_node() consults first; that is what makes node placement
+// deterministic in tests and CI. On a real topology the override is set too
+// (so current_node() is one TLS read, not a getcpu syscall, on pinned
+// threads), but unpinned threads still resolve correctly through
+// sched_getcpu().
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace wcq {
+
+class Topology {
+ public:
+  struct Node {
+    unsigned id = 0;             // dense index, 0..node_count()-1
+    std::vector<unsigned> cpus;  // CPU ids belonging to this node
+  };
+
+  // Pinning policies (README "Topology" section):
+  //   kRoundRobin — cpu = index % cpu_count() over all CPUs in id order (the
+  //                 pre-topology behavior, and still the default).
+  //   kCompact    — fill node 0 before node 1, and within a node fill one
+  //                 hyperthread per physical core before doubling up (the
+  //                 paper's "all 18 threads fit one physical CPU" shape).
+  //   kScatter    — round-robin across nodes first: thread i lands on node
+  //                 i % node_count() (maximal interconnect exposure).
+  //   kNode       — confine every thread to one node's CPUs (`node:<k>`);
+  //                 the shape behind the remote_steal == 0 CI gate.
+  enum class PinPolicy { kRoundRobin, kCompact, kScatter, kNode };
+  struct PinSpec {
+    PinPolicy policy = PinPolicy::kRoundRobin;
+    unsigned node = 0;  // kNode only
+  };
+
+  // Sentinel for "no thread-node override in effect".
+  static constexpr unsigned kUnsetNode = ~0u;
+
+  // The process-wide topology: WCQ_TOPOLOGY override or live-machine
+  // detection, resolved once on first use and immutable afterwards.
+  static const Topology& instance();
+
+  // Constructors for tests and composed layers; all are pure (no env).
+  static Topology flat(unsigned cpus);
+  // "0-3;4-7" — semicolon-separated Linux cpulists, one node per list.
+  // Returns nullopt on a malformed spec (empty node, unparsable range).
+  static std::optional<Topology> from_spec(const std::string& spec);
+  // Parse a /sys/devices/system-shaped tree (node/node*/cpulist,
+  // cpu/cpu*/topology/{core_id,physical_package_id}, node/node*/distance).
+  // `simulated` marks the result as fixture-driven (no affinity syscalls).
+  // Returns nullopt when the tree has no node/ nor cpu/ content.
+  static std::optional<Topology> from_sysfs(const std::string& root,
+                                            bool simulated);
+  // Live-machine detection with the flat fallback; never fails.
+  static Topology detect();
+
+  unsigned node_count() const {
+    return static_cast<unsigned>(nodes_.size());
+  }
+  unsigned cpu_count() const { return cpu_total_; }
+  const Node& node(unsigned i) const { return nodes_[i]; }
+  // Node owning `cpu`; 0 when the CPU is unknown to this topology (a thread
+  // migrated onto a hotplugged CPU degrades to node-0 placement, it never
+  // faults).
+  unsigned node_of_cpu(unsigned cpu) const;
+  // Physical core id of `cpu` (== cpu when no SMT information was found).
+  unsigned core_of_cpu(unsigned cpu) const;
+  // True when this topology came from a spec or fixture rather than the
+  // live machine: CPU ids are nominal and affinity syscalls are skipped.
+  bool simulated() const { return simulated_; }
+
+  // Remote nodes of `node`, nearest first (by the sysfs distance matrix when
+  // present, ring order otherwise). Size node_count()-1; the hierarchical
+  // steal sweep (ShardedQueue) crosses the interconnect in this order.
+  const std::vector<unsigned>& remote_order(unsigned node) const {
+    return remote_order_[node];
+  }
+
+  // The CPU thread `index` maps to under `spec` (deterministic, total: every
+  // index maps somewhere, wrapping within the policy's CPU set).
+  unsigned cpu_for(const PinSpec& spec, unsigned index) const;
+
+  // The node thread `index` maps to under `spec` (node_of_cpu ∘ cpu_for; the
+  // bench layer attributes per-node throughput with this).
+  unsigned node_for(const PinSpec& spec, unsigned index) const {
+    return node_of_cpu(cpu_for(spec, index));
+  }
+
+  // The calling thread's node in THIS topology: the thread-local override
+  // when set (clamped into range), else the current CPU's node, else 0.
+  unsigned current_node() const;
+
+  // "rr" | "compact" | "scatter" | "node:<k>" → PinSpec; nullopt otherwise.
+  static std::optional<PinSpec> parse_pin_spec(const std::string& s);
+  static const char* policy_name(PinPolicy p);
+
+  // Thread-local node override (kUnsetNode clears). Set by policy pinning —
+  // always under a simulated topology, as a syscall-saving cache under a
+  // real one — and by tests that stage threads on nominal nodes.
+  static void set_thread_node(unsigned node);
+  static unsigned thread_node_override();
+
+ private:
+  void finalize();  // build cpu->node map, compact order, remote orders
+
+  std::vector<Node> nodes_;
+  std::vector<unsigned> cpu_node_;            // cpu id -> node index
+  std::vector<unsigned> cpu_core_;            // cpu id -> core id
+  std::vector<std::vector<unsigned>> dist_;   // node x node distances
+  std::vector<std::vector<unsigned>> remote_order_;
+  std::vector<unsigned> rr_order_;            // all cpus, id order
+  std::vector<unsigned> compact_order_;       // nodes in order, siblings last
+  unsigned cpu_total_ = 0;
+  bool simulated_ = false;
+};
+
+// RAII thread-node override for tests: stages the calling thread on a
+// nominal node for the scope, restoring the previous override on exit.
+class ScopedThreadNode {
+ public:
+  explicit ScopedThreadNode(unsigned node)
+      : prev_(Topology::thread_node_override()) {
+    Topology::set_thread_node(node);
+  }
+  ~ScopedThreadNode() { Topology::set_thread_node(prev_); }
+  ScopedThreadNode(const ScopedThreadNode&) = delete;
+  ScopedThreadNode& operator=(const ScopedThreadNode&) = delete;
+
+ private:
+  unsigned prev_;
+};
+
+}  // namespace wcq

@@ -40,6 +40,7 @@
 #include "common/align.hpp"
 #include "common/alloc_meter.hpp"
 #include "common/backoff.hpp"
+#include "common/topology.hpp"
 #include "core/bounded_queue.hpp"
 #include "reclaim/hazard_pointers.hpp"
 #include "reclaim/segment_pool.hpp"
@@ -66,7 +67,8 @@ class UnboundedQueue {
    public:
     Handle() = default;
     Handle(Handle&& o) noexcept
-        : q_(o.q_), tid_(o.tid_), hp_row_(o.hp_row_), owned_(o.owned_) {
+        : q_(o.q_), tid_(o.tid_), hp_row_(o.hp_row_), node_(o.node_),
+          owned_(o.owned_) {
       o.q_ = nullptr;
       o.owned_ = false;
     }
@@ -76,6 +78,7 @@ class UnboundedQueue {
         q_ = o.q_;
         tid_ = o.tid_;
         hp_row_ = o.hp_row_;
+        node_ = o.node_;
         owned_ = o.owned_;
         o.q_ = nullptr;
         o.owned_ = false;
@@ -90,8 +93,13 @@ class UnboundedQueue {
 
    private:
     friend class UnboundedQueue;
+    // Owned sessions resolve their node now (topology cached for the
+    // growth path, DESIGN.md §12); the per-op unowned views leave it unset
+    // and the growth path — rare, once per 2^order ops — resolves lazily.
     Handle(UnboundedQueue* q, unsigned tid, bool owned)
-        : q_(q), tid_(tid), hp_row_(q->hp_.slots_for(tid)), owned_(owned) {}
+        : q_(q), tid_(tid), hp_row_(q->hp_.slots_for(tid)),
+          node_(owned ? q->topo_->current_node() : Topology::kUnsetNode),
+          owned_(owned) {}
 
     void release() {
       if (owned_ && q_ != nullptr) {
@@ -104,6 +112,7 @@ class UnboundedQueue {
     UnboundedQueue* q_ = nullptr;
     unsigned tid_ = 0;
     HazardDomain::ThreadSlots* hp_row_ = nullptr;
+    unsigned node_ = Topology::kUnsetNode;
     bool owned_ = false;
   };
 
@@ -126,13 +135,22 @@ class UnboundedQueue {
     // ring has (a sweep can miss an index mid-flight — DESIGN.md §9), and
     // recycling (and SteadyStateZeroAllocations) is unaffected.
     IndexMagazines::Config magazine{};
+    // Placement source for the node-partitioned segment pool (DESIGN.md
+    // §12); nullptr means the process topology (Topology::instance()). A
+    // segment's home node is the node of the thread that first allocated it
+    // (its first-touch node), and it recycles only through that node's pool
+    // partition.
+    const Topology* topology = nullptr;
   };
 
   explicit UnboundedQueue(Options opt)
       : opt_(opt),
-        pool_(opt.pool_slots),
+        topo_(opt.topology != nullptr ? opt.topology
+                                      : &Topology::instance()),
+        pool_(opt.pool_slots, topo_->node_count()),
         hp_(kRetireScanThreshold) {
     Segment* first = Segment::create(segment_options());
+    first->home_node = topo_->current_node();
     head_.value.store(first, std::memory_order_relaxed);
     tail_.value.store(first, std::memory_order_relaxed);
   }
@@ -201,7 +219,7 @@ class UnboundedQueue {
       }
       // Ring full: it is now finalized; append a fresh ring seeded with the
       // value (Fig 13 lines 7-8, 21-23).
-      Segment* fresh = acquire_segment();
+      Segment* fresh = acquire_segment(h);
       (void)fresh->enqueue(h.tid_, value);  // empty open ring: cannot fail
       Segment* expected = nullptr;
       if (ltail->next.compare_exchange_strong(expected, fresh,
@@ -374,6 +392,11 @@ class UnboundedQueue {
     }
 
     BoundedQueue<T, Ring> queue;
+    // Node whose thread first allocated this segment — where first-touch
+    // put its pages. Written only under exclusive ownership (creation);
+    // recycling keys the pool partition off it so the pages never migrate
+    // through the free list (DESIGN.md §12).
+    unsigned home_node = 0;
     alignas(kCacheLine) std::atomic<bool> finalized{false};
     alignas(kCacheLine) std::atomic<int> in_flight{0};
     alignas(kCacheLine) std::atomic<Segment*> next{nullptr};
@@ -387,20 +410,31 @@ class UnboundedQueue {
     return typename Segment::QueueOptions{opt_.segment_order, opt_.magazine};
   }
 
-  Segment* acquire_segment() {
+  // The session's cached node when it has one (owned handles), else
+  // resolved now — once per growth, not per operation.
+  Segment* acquire_segment(const Handle& h) {
+    const unsigned node = h.node_ != Topology::kUnsetNode
+                              ? h.node_
+                              : topo_->current_node();
     if (opt_.recycle) {
-      if (Segment* s = pool_.try_get()) return s;
+      // Local partition only: a miss allocates a fresh local segment
+      // rather than adopting one whose pages live on another node.
+      if (Segment* s = pool_.try_get(node)) return s;
     }
-    return Segment::create(segment_options());
+    Segment* s = Segment::create(segment_options());
+    s->home_node = node;
+    return s;
   }
 
   // Give back a segment this thread exclusively owns (never published, or
   // publication lost its race). It may hold the one seeded element; reset
-  // destroys it along with any other straggler.
+  // destroys it along with any other straggler. The segment parks in its
+  // *home* node's partition — not the releasing thread's — so its pages
+  // stay keyed to where they physically are.
   void release_segment(Segment* s) {
     if (opt_.recycle) {
       s->reset();
-      if (pool_.try_put(s)) return;
+      if (pool_.try_put(s->home_node, s)) return;
     }
     Segment::destroy(s);
   }
@@ -423,6 +457,7 @@ class UnboundedQueue {
   static constexpr std::size_t kRetireScanThreshold = 2;
 
   Options opt_;
+  const Topology* topo_ = nullptr;
   // Declaration order is load-bearing for destruction: hp_ is declared after
   // pool_ so that any late recycle_cb run by a member destructor would still
   // find the pool alive (the destructor body drains both explicitly anyway).

@@ -1,26 +1,40 @@
-// ShardedQueue<T, Ring> — a sharded front-end over Fig 2 bounded queues
-// (DESIGN.md §7).
+// ShardedQueue<T, Ring> — a topology-aware sharded front-end over Fig 2
+// bounded queues (DESIGN.md §7, §12).
 //
 // wCQ's bounded-memory rings are the building block; this composes a
 // power-of-two number of BoundedQueue<T, Ring> shards so that unrelated
 // threads stop contending on one Head/Tail pair. Policy:
 //
-//  * Affinity — every operation starts at the caller's home shard,
-//    `tid & (shards-1)`. Dense tids mean neighboring threads land on
-//    distinct shards, and a thread keeps its shard for its whole lifetime,
-//    so the uncontended case touches one ring only. A session handle
-//    (DESIGN.md §10) caches the home shard and one BoundedQueue session per
-//    shard, so the handle path resolves nothing per operation; the implicit
-//    path resolves the tid once per call.
+//  * Placement — shards are assigned to NUMA nodes in contiguous groups
+//    (shard i belongs to node i*m/n for m nodes, n shards), and on a real
+//    multi-node machine each group's backing store is constructed by a
+//    helper thread pinned to the owning node, so first-touch puts the ring
+//    arrays in that node's memory.
+//  * Affinity — every operation starts at the caller's *home shard*: the
+//    thread's current node selects the local shard group, the dense
+//    registry tid picks within it (`group[tid % group_size]`). On a flat
+//    (single-node) topology this degenerates to the pre-topology
+//    `tid & (shards-1)`. A session handle (DESIGN.md §10) resolves the node
+//    and the whole sweep order once at acquire() and caches one
+//    BoundedQueue session per shard, so the handle path resolves nothing
+//    per operation; the implicit path resolves tid and node once per call.
 //  * Stealing — when the home shard is empty (dequeue) or full (enqueue),
-//    the operation sweeps the remaining shards exactly once, in ring order
-//    starting at home+1. "Empty"/"full" is reported only after a full sweep
-//    fails, so an element visible in any shard before the sweep began is
-//    found. The sweep is bounded (one visit per shard), preserving the
-//    rings' progress guarantee per operation.
+//    the operation sweeps the remaining shards exactly once,
+//    hierarchically: first the rest of the local node's group (rotated to
+//    start after home), then each remote node's group, nearest node first
+//    by the topology's distance matrix. "Empty"/"full" is reported only
+//    after the full sweep fails, so an element visible in any shard before
+//    the sweep began is found — the reordering of visits relative to the
+//    flat ring sweep does not weaken that contract (DESIGN.md §12). The
+//    sweep stays bounded (one visit per shard), preserving the rings'
+//    progress guarantee per operation.
+//  * Accounting — an operation that *succeeds* on a shard of a different
+//    node than the caller's increments the thread-local remote_steal
+//    counter (common/op_counters.hpp): crossing the interconnect is the
+//    expensive event worth gating on, failed remote probes are not.
 //  * Batching — enqueue_bulk/dequeue_bulk forward to the shards' batch
 //    paths (one ring F&A per chunk instead of per element), spilling the
-//    unplaced/unfilled remainder across the same sweep.
+//    unplaced/unfilled remainder across the same hierarchical sweep.
 //
 // Ordering contract: each shard is an independent FIFO queue. Elements
 // routed through one shard retain per-producer FIFO order; the composition
@@ -37,9 +51,13 @@
 #include <cstdlib>
 #include <memory>
 #include <optional>
+#include <thread>
 #include <type_traits>
 #include <vector>
 
+#include "common/cpu.hpp"
+#include "common/op_counters.hpp"
+#include "common/topology.hpp"
 #include "core/bounded_queue.hpp"
 #include "core/wcq.hpp"
 #include "runtime/thread_registry.hpp"
@@ -52,18 +70,20 @@ class ShardedQueue {
  public:
   using Shard = BoundedQueue<T, Ring>;
 
-  // Per-thread session (DESIGN.md §10): the cached home shard plus one
-  // unowned BoundedQueue session per shard, built once at acquire() — the
-  // sweep then touches no registry state at all. Move-only; the queue
-  // aborts if destroyed while owned handles are live (same lifetime
-  // contract as the shard handles). Releasing the session flushes this
-  // tid's magazine in every shard back to the shard's fq, so a pool
-  // worker's cached capacity returns immediately, not at thread exit.
+  // Per-thread session (DESIGN.md §10, §12): the caller's node and full
+  // hierarchical sweep order resolved once at acquire(), plus one unowned
+  // BoundedQueue session per shard — the sweep then touches neither the
+  // registry nor the topology. Move-only; the queue aborts if destroyed
+  // while owned handles are live (same lifetime contract as the shard
+  // handles). Releasing the session flushes this tid's magazine in every
+  // shard back to the shard's fq, so a pool worker's cached capacity
+  // returns immediately, not at thread exit.
   class Handle {
    public:
     Handle() = default;
     Handle(Handle&& o) noexcept
-        : q_(o.q_), tid_(o.tid_), home_(o.home_),
+        : q_(o.q_), tid_(o.tid_), node_(o.node_),
+          sweep_(std::move(o.sweep_)), home_(o.home_),
           shards_(std::move(o.shards_)), owned_(o.owned_) {
       o.q_ = nullptr;
       o.owned_ = false;
@@ -73,7 +93,9 @@ class ShardedQueue {
         release();
         q_ = o.q_;
         tid_ = o.tid_;
+        node_ = o.node_;
         home_ = o.home_;
+        sweep_ = std::move(o.sweep_);
         shards_ = std::move(o.shards_);
         owned_ = o.owned_;
         o.q_ = nullptr;
@@ -86,15 +108,21 @@ class ShardedQueue {
     ~Handle() { release(); }
 
     unsigned tid() const { return tid_; }
+    // The node this session resolved at acquire(); a thread that migrates
+    // afterwards keeps its original placement (sessions are cheap — reacquire
+    // to re-home).
+    unsigned node() const { return node_; }
     // The session's cached home shard (satellite of DESIGN.md §10: the
-    // implicit path recomputes this from the registry tid once per call;
-    // the handle never does).
+    // implicit path recomputes this from the registry tid and current node
+    // once per call; the handle never does).
     unsigned home_shard() const { return home_; }
 
    private:
     friend class ShardedQueue;
     Handle(ShardedQueue* q, unsigned tid, bool owned)
-        : q_(q), tid_(tid), home_(tid & q->mask_), owned_(owned) {
+        : q_(q), tid_(tid), node_(q->topo_->current_node()),
+          sweep_(q->sweep_order(node_, tid)), home_(sweep_.front()),
+          owned_(owned) {
       shards_.reserve(q->shards_.size());
       for (auto& s : q->shards_) shards_.push_back(s->handle_for(tid));
     }
@@ -113,6 +141,8 @@ class ShardedQueue {
 
     ShardedQueue* q_ = nullptr;
     unsigned tid_ = 0;
+    unsigned node_ = 0;
+    std::vector<unsigned> sweep_;  // full hierarchical visit order
     unsigned home_ = 0;
     std::vector<typename Shard::Handle> shards_;
     bool owned_ = false;
@@ -127,15 +157,70 @@ class ShardedQueue {
     // home-shard affinity means a thread's magazine hits concentrate on one
     // shard, exactly the locality magazines reward.
     IndexMagazines::Config magazine{};
+    // Placement source; nullptr means the process topology
+    // (Topology::instance(), i.e. WCQ_TOPOLOGY or the live machine). Tests
+    // inject simulated shapes here without touching the environment.
+    const Topology* topology = nullptr;
   };
 
-  explicit ShardedQueue(Options opt) {
+  explicit ShardedQueue(Options opt)
+      : topo_(opt.topology != nullptr ? opt.topology
+                                      : &Topology::instance()) {
     const unsigned n = std::bit_ceil(opt.shards == 0 ? 1u : opt.shards);
     mask_ = n - 1;
-    shards_.reserve(n);
+    const unsigned m = topo_->node_count();
+
+    // Contiguous groups: shard i -> node i*m/n. With m > n the trailing
+    // nodes own no shards and their threads start the sweep at the nearest
+    // node that does; with m <= n every node owns >= floor(n/m) shards.
+    shard_node_.resize(n);
     for (unsigned i = 0; i < n; ++i) {
-      shards_.push_back(std::make_unique<Shard>(
-          typename Shard::Options{opt.shard_order, opt.magazine}));
+      shard_node_[i] =
+          static_cast<unsigned>(static_cast<u64>(i) * m / n);
+    }
+    local_.assign(m, {});
+    for (unsigned i = 0; i < n; ++i) local_[shard_node_[i]].push_back(i);
+
+    // Canonical per-node visit order: own group first, then each remote
+    // node's group nearest-first (Topology::remote_order). Every shard
+    // appears exactly once; per-(thread, node) sweeps only rotate the
+    // leading local segment.
+    order_.resize(m);
+    for (unsigned t = 0; t < m; ++t) {
+      auto& ord = order_[t];
+      ord = local_[t];
+      for (unsigned r : topo_->remote_order(t)) {
+        ord.insert(ord.end(), local_[r].begin(), local_[r].end());
+      }
+    }
+
+    shards_.resize(n);
+    auto build_range = [&](unsigned lo, unsigned hi) {
+      for (unsigned i = lo; i < hi; ++i) {
+        shards_[i] = std::make_unique<Shard>(
+            typename Shard::Options{opt.shard_order, opt.magazine});
+      }
+    };
+    if (m > 1 && !topo_->simulated()) {
+      // First-touch: one builder thread per node group, pinned to the
+      // owning node, so each group's ring arrays fault into that node's
+      // memory. Simulated topologies skip this — their nodes have no
+      // distinct physical memory to touch.
+      std::vector<std::thread> builders;
+      for (unsigned t = 0; t < m; ++t) {
+        if (local_[t].empty()) continue;
+        const unsigned lo = local_[t].front();
+        const unsigned hi = local_[t].back() + 1;
+        builders.emplace_back([this, build_range, t, lo, hi] {
+          pin_thread(0,
+                     Topology::PinSpec{Topology::PinPolicy::kNode, t},
+                     *topo_);
+          build_range(lo, hi);
+        });
+      }
+      for (auto& b : builders) b.join();
+    } else {
+      build_range(0, n);
     }
   }
 
@@ -162,10 +247,43 @@ class ShardedQueue {
   u64 capacity() const { return shard_count() * shards_[0]->capacity(); }
   Shard& shard(unsigned i) { return *shards_[i]; }
   const Shard& shard(unsigned i) const { return *shards_[i]; }
-  // The calling thread's home shard (tests pin expectations to this).
-  unsigned home_shard() const { return ThreadRegistry::tid() & mask_; }
+  const Topology& topology() const { return *topo_; }
 
-  // Owned per-thread session: one registry lookup now, none per operation.
+  // Node owning shard `i` under this queue's placement.
+  unsigned shard_node(unsigned i) const { return shard_node_[i]; }
+
+  // The full hierarchical visit order for a thread `tid` on `node`: the
+  // local group rotated to start at the home shard, then remote groups
+  // nearest-node-first. Exposed for tests; Handle caches exactly this.
+  std::vector<unsigned> sweep_order(unsigned node, unsigned tid) const {
+    const auto& loc = local_[node];
+    const auto& ord = order_[node];
+    const unsigned n = shard_count();
+    const unsigned L = static_cast<unsigned>(loc.size());
+    const unsigned p = L != 0 ? tid % L : 0;
+    std::vector<unsigned> out;
+    out.reserve(n);
+    for (unsigned s = 0; s < L; ++s) out.push_back(loc[(p + s) % L]);
+    for (unsigned s = L; s < n; ++s) out.push_back(ord[s]);
+    return out;
+  }
+
+  // Home shard for a thread `tid` homed on `node`: its slot in the node's
+  // local group (the flat-topology case reduces to tid & (shards-1)), or
+  // the nearest populated node's first shard when `node` owns none.
+  unsigned home_shard_for(unsigned node, unsigned tid) const {
+    const auto& loc = local_[node];
+    if (!loc.empty()) return loc[tid % loc.size()];
+    return order_[node].front();
+  }
+  // The calling thread's home shard (tests pin expectations to this; stays
+  // consistent with Handle::home_shard() for a handle acquired here).
+  unsigned home_shard() const {
+    return home_shard_for(topo_->current_node(), ThreadRegistry::tid());
+  }
+
+  // Owned per-thread session: one registry lookup and one topology
+  // resolution now, none per operation.
   Handle acquire() {
     live_handles_.fetch_add(1, std::memory_order_acq_rel);
     return Handle(this, ThreadRegistry::tid(), /*owned=*/true);
@@ -176,21 +294,30 @@ class ShardedQueue {
   // False only after every shard rejected the element during one sweep.
   bool enqueue(T value) {
     const unsigned tid = ThreadRegistry::tid();
-    const unsigned h = tid & mask_;
+    const unsigned node = topo_->current_node();
+    const auto& loc = local_[node];
+    const auto& ord = order_[node];
     const unsigned n = shard_count();
+    const unsigned L = static_cast<unsigned>(loc.size());
+    const unsigned p = L != 0 ? tid % L : 0;
     for (unsigned s = 0; s < n; ++s) {
-      Shard& sh = *shards_[(h + s) & mask_];
+      const unsigned i = s < L ? loc[(p + s) % L] : ord[s];
+      Shard& sh = *shards_[i];
       auto shh = sh.handle_for(tid);
-      if (sh.enqueue_movable(shh, value)) return true;
+      if (sh.enqueue_movable(shh, value)) {
+        if (shard_node_[i] != node) opcount::count_remote_steal();
+        return true;
+      }
     }
     return false;
   }
 
   bool enqueue(Handle& h, T value) {
-    const unsigned n = shard_count();
-    for (unsigned s = 0; s < n; ++s) {
-      const unsigned i = (h.home_ + s) & mask_;
-      if (shards_[i]->enqueue_movable(h.shards_[i], value)) return true;
+    for (const unsigned i : h.sweep_) {
+      if (shards_[i]->enqueue_movable(h.shards_[i], value)) {
+        if (shard_node_[i] != h.node_) opcount::count_remote_steal();
+        return true;
+      }
     }
     return false;
   }
@@ -198,21 +325,30 @@ class ShardedQueue {
   // Nullopt only after a full steal sweep found every shard empty.
   std::optional<T> dequeue() {
     const unsigned tid = ThreadRegistry::tid();
-    const unsigned h = tid & mask_;
+    const unsigned node = topo_->current_node();
+    const auto& loc = local_[node];
+    const auto& ord = order_[node];
     const unsigned n = shard_count();
+    const unsigned L = static_cast<unsigned>(loc.size());
+    const unsigned p = L != 0 ? tid % L : 0;
     for (unsigned s = 0; s < n; ++s) {
-      Shard& sh = *shards_[(h + s) & mask_];
+      const unsigned i = s < L ? loc[(p + s) % L] : ord[s];
+      Shard& sh = *shards_[i];
       auto shh = sh.handle_for(tid);
-      if (auto v = sh.dequeue(shh)) return v;
+      if (auto v = sh.dequeue(shh)) {
+        if (shard_node_[i] != node) opcount::count_remote_steal();
+        return v;
+      }
     }
     return std::nullopt;
   }
 
   std::optional<T> dequeue(Handle& h) {
-    const unsigned n = shard_count();
-    for (unsigned s = 0; s < n; ++s) {
-      const unsigned i = (h.home_ + s) & mask_;
-      if (auto v = shards_[i]->dequeue(h.shards_[i])) return v;
+    for (const unsigned i : h.sweep_) {
+      if (auto v = shards_[i]->dequeue(h.shards_[i])) {
+        if (shard_node_[i] != h.node_) opcount::count_remote_steal();
+        return v;
+      }
     }
     return std::nullopt;
   }
@@ -220,18 +356,26 @@ class ShardedQueue {
   // Batch insert: places up to `n` elements (home shard first, spilling the
   // remainder across the sweep) and returns how many were taken; exactly the
   // first `ret` elements of `first` are moved-from. Partial success means
-  // every shard filled up during the sweep.
+  // every shard filled up during the sweep. Remote accounting is per shard
+  // visit that transferred at least one element, not per element.
   template <typename U,
             std::enable_if_t<std::is_same_v<std::remove_const_t<U>, T>, int> = 0>
   std::size_t enqueue_bulk(U* first, std::size_t n) {
     const unsigned tid = ThreadRegistry::tid();
-    const unsigned h = tid & mask_;
+    const unsigned node = topo_->current_node();
+    const auto& loc = local_[node];
+    const auto& ord = order_[node];
     const unsigned k = shard_count();
+    const unsigned L = static_cast<unsigned>(loc.size());
+    const unsigned p = L != 0 ? tid % L : 0;
     std::size_t done = 0;
     for (unsigned s = 0; s < k && done < n; ++s) {
-      Shard& sh = *shards_[(h + s) & mask_];
+      const unsigned i = s < L ? loc[(p + s) % L] : ord[s];
+      Shard& sh = *shards_[i];
       auto shh = sh.handle_for(tid);
-      done += sh.enqueue_bulk(shh, first + done, n - done);
+      const std::size_t got = sh.enqueue_bulk(shh, first + done, n - done);
+      if (got != 0 && shard_node_[i] != node) opcount::count_remote_steal();
+      done += got;
     }
     return done;
   }
@@ -239,11 +383,15 @@ class ShardedQueue {
   template <typename U,
             std::enable_if_t<std::is_same_v<std::remove_const_t<U>, T>, int> = 0>
   std::size_t enqueue_bulk(Handle& h, U* first, std::size_t n) {
-    const unsigned k = shard_count();
     std::size_t done = 0;
-    for (unsigned s = 0; s < k && done < n; ++s) {
-      const unsigned i = (h.home_ + s) & mask_;
-      done += shards_[i]->enqueue_bulk(h.shards_[i], first + done, n - done);
+    for (const unsigned i : h.sweep_) {
+      if (done >= n) break;
+      const std::size_t got =
+          shards_[i]->enqueue_bulk(h.shards_[i], first + done, n - done);
+      if (got != 0 && shard_node_[i] != h.node_) {
+        opcount::count_remote_steal();
+      }
+      done += got;
     }
     return done;
   }
@@ -253,29 +401,44 @@ class ShardedQueue {
   // emptiness (see the shard-level contract), dequeue() does.
   std::size_t dequeue_bulk(T* out, std::size_t n) {
     const unsigned tid = ThreadRegistry::tid();
-    const unsigned h = tid & mask_;
+    const unsigned node = topo_->current_node();
+    const auto& loc = local_[node];
+    const auto& ord = order_[node];
     const unsigned k = shard_count();
+    const unsigned L = static_cast<unsigned>(loc.size());
+    const unsigned p = L != 0 ? tid % L : 0;
     std::size_t done = 0;
     for (unsigned s = 0; s < k && done < n; ++s) {
-      Shard& sh = *shards_[(h + s) & mask_];
+      const unsigned i = s < L ? loc[(p + s) % L] : ord[s];
+      Shard& sh = *shards_[i];
       auto shh = sh.handle_for(tid);
-      done += sh.dequeue_bulk(shh, out + done, n - done);
+      const std::size_t got = sh.dequeue_bulk(shh, out + done, n - done);
+      if (got != 0 && shard_node_[i] != node) opcount::count_remote_steal();
+      done += got;
     }
     return done;
   }
 
   std::size_t dequeue_bulk(Handle& h, T* out, std::size_t n) {
-    const unsigned k = shard_count();
     std::size_t done = 0;
-    for (unsigned s = 0; s < k && done < n; ++s) {
-      const unsigned i = (h.home_ + s) & mask_;
-      done += shards_[i]->dequeue_bulk(h.shards_[i], out + done, n - done);
+    for (const unsigned i : h.sweep_) {
+      if (done >= n) break;
+      const std::size_t got =
+          shards_[i]->dequeue_bulk(h.shards_[i], out + done, n - done);
+      if (got != 0 && shard_node_[i] != h.node_) {
+        opcount::count_remote_steal();
+      }
+      done += got;
     }
     return done;
   }
 
  private:
+  const Topology* topo_ = nullptr;
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<unsigned> shard_node_;           // shard -> owning node
+  std::vector<std::vector<unsigned>> local_;   // node -> its shard group
+  std::vector<std::vector<unsigned>> order_;   // node -> canonical sweep
   unsigned mask_ = 0;
   std::atomic<int> live_handles_{0};
 };

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/alloc_meter.hpp"
+#include "common/topology.hpp"
 #include "core/bounded_queue.hpp"
 #include "core/unbounded_queue.hpp"
 #include "core/wcq_llsc.hpp"
@@ -152,6 +153,76 @@ TEST(SegmentPoolTest, DrainReleasesEverything) {
   EXPECT_EQ(pool.try_get(), nullptr);
 }
 
+// ---- NUMA partitions (DESIGN.md §12) --------------------------------------
+
+TEST(SegmentPoolTest, PartitionedPutGetStayLocal) {
+  (void)ThreadRegistry::tid();
+  SegmentPool<int> pool(8, 2);
+  EXPECT_EQ(pool.partitions(), 2u);
+  int a = 1, b = 2;
+  ASSERT_TRUE(pool.try_put(0, &a));
+  EXPECT_EQ(pool.size(0), 1u);
+  EXPECT_EQ(pool.size(1), 0u);
+  // A node-keyed miss is local: partition 1 is empty even though the pool
+  // as a whole is not — the caller allocates locally rather than adopting
+  // node 0's pages.
+  EXPECT_EQ(pool.try_get(1), nullptr);
+  EXPECT_EQ(pool.try_get(0), &a);
+  ASSERT_TRUE(pool.try_put(1, &b));
+  EXPECT_EQ(pool.size(1), 1u);
+  EXPECT_EQ(pool.try_get(0), nullptr);
+  EXPECT_EQ(pool.try_get(1), &b);
+  EXPECT_EQ(pool.size(), 0u);
+}
+
+TEST(SegmentPoolTest, PartitionFullRejectsDespiteRoomElsewhere) {
+  (void)ThreadRegistry::tid();  // high_water >= 1 so cap() == slots
+  SegmentPool<int> pool(4, 2);  // two slots per partition
+  int n[3] = {0, 1, 2};
+  ASSERT_TRUE(pool.try_put(0, &n[0]));
+  ASSERT_TRUE(pool.try_put(0, &n[1]));
+  // Partition 0 is full: the put is rejected (caller frees, the §8 overflow
+  // path) even though partition 1 has room — pages never migrate through
+  // the free list.
+  EXPECT_FALSE(pool.try_put(0, &n[2]));
+  EXPECT_TRUE(pool.try_put(1, &n[2]));
+  EXPECT_EQ(pool.size(0), 2u);
+  EXPECT_EQ(pool.size(1), 1u);
+}
+
+TEST(SegmentPoolTest, OutOfRangeNodeMapsToPartitionZero) {
+  SegmentPool<int> pool(4, 2);
+  int a = 1;
+  ASSERT_TRUE(pool.try_put(99, &a));  // degrade, never fault
+  EXPECT_EQ(pool.size(0), 1u);
+  EXPECT_EQ(pool.try_get(99), &a);
+}
+
+TEST(SegmentPoolTest, LegacyWholeArrayOpsCrossPartitions) {
+  SegmentPool<int> pool(8, 2);
+  int b = 2;
+  ASSERT_TRUE(pool.try_put(1, &b));
+  // The node-less overloads keep the pre-topology whole-array behavior:
+  // they see every partition.
+  EXPECT_EQ(pool.try_get(), &b);
+}
+
+TEST(SegmentPoolTest, DrainResetsPartitionCounts) {
+  (void)ThreadRegistry::tid();  // thread-scaled cap must admit three puts
+  SegmentPool<int> pool(8, 2);
+  int n[3] = {0, 1, 2};
+  ASSERT_TRUE(pool.try_put(0, &n[0]));
+  ASSERT_TRUE(pool.try_put(1, &n[1]));
+  ASSERT_TRUE(pool.try_put(1, &n[2]));
+  int released = 0;
+  pool.drain([&](int*) { ++released; });
+  EXPECT_EQ(released, 3);
+  EXPECT_EQ(pool.size(0), 0u);
+  EXPECT_EQ(pool.size(1), 0u);
+  EXPECT_EQ(pool.try_get(0), nullptr);
+  EXPECT_EQ(pool.try_get(1), nullptr);
+}
+
 // Ownership-transfer safety under contention: a node claimed from the pool
 // is held by exactly one thread at a time, and no node is duplicated or
 // lost. (This is the property the Treiber-stack design could not give
@@ -262,6 +333,35 @@ TYPED_TEST(SegmentRecyclingTypedTest, SteadyStateZeroAllocations) {
       << "steady-state fill/drain must not allocate with the pool enabled";
   EXPECT_GT(q.pooled_segments(), 0u) << "pool never engaged";
   EXPECT_LE(q.live_segments(), 3u);
+}
+
+// With an injected 2-node topology the pool is partitioned, but a thread
+// staged on one node still recycles its own segments: steady-state churn
+// stays allocation-free through the node-keyed pool path.
+TYPED_TEST(SegmentRecyclingTypedTest, SteadyStateZeroAllocationsPartitioned) {
+  const Topology topo = *Topology::from_spec("0-1;2-3");
+  typename UnboundedQueue<u64, TypeParam>::Options o;
+  o.segment_order = 4;
+  o.topology = &topo;
+  // Staged before construction so the first segment first-touches node 1
+  // like everything else; a remote-homed segment would be parked in node
+  // 0's partition and never reclaimed from here, eating into the
+  // thread-scaled cap for the whole run (a local miss allocates — correct,
+  // just uncached).
+  ScopedThreadNode on_node1(1);
+  UnboundedQueue<u64, TypeParam> q(o);
+  auto churn = [&](int rounds) {
+    for (int r = 0; r < rounds; ++r) {
+      for (u64 i = 0; i < 64; ++i) ASSERT_TRUE(q.enqueue(i));
+      for (u64 i = 0; i < 64; ++i) ASSERT_TRUE(q.dequeue().has_value());
+    }
+  };
+  churn(64);  // warm-up: populate node 1's partition
+  const std::int64_t allocs_before = alloc_meter::total_allocations();
+  churn(64);
+  EXPECT_EQ(alloc_meter::total_allocations() - allocs_before, 0)
+      << "node-keyed recycling missed its own partition";
+  EXPECT_GT(q.pooled_segments(), 0u);
 }
 
 TYPED_TEST(SegmentRecyclingTypedTest, NoPoolKeepsAllocating) {

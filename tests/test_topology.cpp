@@ -1,0 +1,200 @@
+// Topology subsystem tests (src/common/topology.hpp, DESIGN.md §12).
+//
+// The parser tests run the *production* from_sysfs path over committed
+// fixture trees (tests/fixtures/sysfs/*): a flat 4-CPU machine, a 2-node
+// box, an asymmetric 3-node box with a memory-only node and a distance
+// matrix that disagrees with ring order, and an SMT part with adjacent
+// hyperthread siblings. The spec parser, pin policies, flat fallback and
+// thread-node override are covered directly.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/topology.hpp"
+
+namespace wcq {
+namespace {
+
+std::string fixture(const char* name) {
+  return std::string(WCQ_TEST_FIXTURE_DIR) + "/sysfs/" + name;
+}
+
+using Policy = Topology::PinPolicy;
+
+// --- spec parsing ----------------------------------------------------------
+
+TEST(TopologySpec, SingleNode) {
+  auto t = Topology::from_spec("0-3");
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->node_count(), 1u);
+  EXPECT_EQ(t->cpu_count(), 4u);
+  EXPECT_TRUE(t->simulated());
+  EXPECT_EQ(t->node(0).cpus, (std::vector<unsigned>{0, 1, 2, 3}));
+}
+
+TEST(TopologySpec, TwoNodesWithListsAndRanges) {
+  auto t = Topology::from_spec("0-1,4;2-3");
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->node_count(), 2u);
+  EXPECT_EQ(t->node(0).cpus, (std::vector<unsigned>{0, 1, 4}));
+  EXPECT_EQ(t->node(1).cpus, (std::vector<unsigned>{2, 3}));
+  EXPECT_EQ(t->node_of_cpu(4), 0u);
+  EXPECT_EQ(t->node_of_cpu(2), 1u);
+}
+
+TEST(TopologySpec, MalformedSpecsRejected) {
+  EXPECT_FALSE(Topology::from_spec("").has_value());
+  EXPECT_FALSE(Topology::from_spec(";").has_value());
+  EXPECT_FALSE(Topology::from_spec("0-1;;2-3").has_value());
+  EXPECT_FALSE(Topology::from_spec("0-1;x").has_value());
+  EXPECT_FALSE(Topology::from_spec("3-1").has_value());  // inverted range
+}
+
+TEST(TopologySpec, UnknownCpuMapsToNodeZero) {
+  auto t = Topology::from_spec("0-1;2-3");
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->node_of_cpu(99), 0u);  // degrade, never fault
+}
+
+// --- sysfs fixture parsing -------------------------------------------------
+
+TEST(TopologySysfs, OneNodeFixture) {
+  auto t = Topology::from_sysfs(fixture("one_node"), /*simulated=*/true);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->node_count(), 1u);
+  EXPECT_EQ(t->cpu_count(), 4u);
+  EXPECT_TRUE(t->remote_order(0).empty());
+  // No SMT in this fixture: every cpu is its own core.
+  EXPECT_EQ(t->core_of_cpu(2), 2u);
+}
+
+TEST(TopologySysfs, TwoNodeFixture) {
+  auto t = Topology::from_sysfs(fixture("two_node"), /*simulated=*/true);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->node_count(), 2u);
+  EXPECT_EQ(t->cpu_count(), 8u);
+  EXPECT_EQ(t->node(0).cpus, (std::vector<unsigned>{0, 1, 2, 3}));
+  EXPECT_EQ(t->node(1).cpus, (std::vector<unsigned>{4, 5, 6, 7}));
+  EXPECT_EQ(t->node_of_cpu(5), 1u);
+  // Same core_id on different packages stays a distinct core: cpu0 is
+  // (pkg 0, core 0) and cpu4 is (pkg 1, core 0).
+  EXPECT_NE(t->core_of_cpu(0), t->core_of_cpu(4));
+  EXPECT_EQ(t->remote_order(0), (std::vector<unsigned>{1}));
+  EXPECT_EQ(t->remote_order(1), (std::vector<unsigned>{0}));
+}
+
+TEST(TopologySysfs, AsymmetricFixtureSkipsMemoryOnlyNodeAndSortsByDistance) {
+  auto t = Topology::from_sysfs(fixture("asym"), /*simulated=*/true);
+  ASSERT_TRUE(t.has_value());
+  // node3 has an empty cpulist (memory-only) and is skipped.
+  EXPECT_EQ(t->node_count(), 3u);
+  EXPECT_EQ(t->node(0).cpus.size(), 4u);
+  EXPECT_EQ(t->node(1).cpus.size(), 2u);
+  EXPECT_EQ(t->node(2).cpus.size(), 2u);
+  // Distances: d(2,1)=21 < d(2,0)=31, so node 2's nearest remote is node 1
+  // — ring order would say node 0 first.
+  EXPECT_EQ(t->remote_order(2), (std::vector<unsigned>{1, 0}));
+  EXPECT_EQ(t->remote_order(0), (std::vector<unsigned>{1, 2}));
+}
+
+TEST(TopologySysfs, SmtFixtureCompactOrderFillsCoresBeforeSiblings) {
+  auto t = Topology::from_sysfs(fixture("smt"), /*simulated=*/true);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->node_count(), 1u);
+  EXPECT_EQ(t->cpu_count(), 8u);
+  // Siblings are adjacent (cpu0/cpu1 share core 0); compact placement must
+  // visit one hyperthread per core before doubling up.
+  const Topology::PinSpec compact{Policy::kCompact, 0};
+  std::vector<unsigned> order;
+  for (unsigned i = 0; i < 8; ++i) order.push_back(t->cpu_for(compact, i));
+  EXPECT_EQ(order, (std::vector<unsigned>{0, 2, 4, 6, 1, 3, 5, 7}));
+}
+
+TEST(TopologySysfs, EmptyFixtureRejectedWhenSimulated) {
+  EXPECT_FALSE(Topology::from_sysfs(fixture("does_not_exist"),
+                                    /*simulated=*/true)
+                   .has_value());
+}
+
+// --- flat fallback ---------------------------------------------------------
+
+TEST(TopologyFlat, SingleNodeOverAllCpus) {
+  Topology t = Topology::flat(6);
+  EXPECT_EQ(t.node_count(), 1u);
+  EXPECT_EQ(t.cpu_count(), 6u);
+  EXPECT_FALSE(t.simulated());
+  EXPECT_TRUE(t.remote_order(0).empty());
+  for (unsigned c = 0; c < 6; ++c) EXPECT_EQ(t.node_of_cpu(c), 0u);
+}
+
+TEST(TopologyFlat, DetectNeverFails) {
+  Topology t = Topology::detect();
+  EXPECT_GE(t.node_count(), 1u);
+  EXPECT_GE(t.cpu_count(), 1u);
+}
+
+// --- pin policies ----------------------------------------------------------
+
+TEST(TopologyPin, ParsePinSpecs) {
+  EXPECT_EQ(Topology::parse_pin_spec("rr")->policy, Policy::kRoundRobin);
+  EXPECT_EQ(Topology::parse_pin_spec("compact")->policy, Policy::kCompact);
+  EXPECT_EQ(Topology::parse_pin_spec("scatter")->policy, Policy::kScatter);
+  const auto node2 = Topology::parse_pin_spec("node:2");
+  ASSERT_TRUE(node2.has_value());
+  EXPECT_EQ(node2->policy, Policy::kNode);
+  EXPECT_EQ(node2->node, 2u);
+  EXPECT_FALSE(Topology::parse_pin_spec("node:").has_value());
+  EXPECT_FALSE(Topology::parse_pin_spec("node:2x").has_value());
+  EXPECT_FALSE(Topology::parse_pin_spec("bogus").has_value());
+}
+
+TEST(TopologyPin, PoliciesOnTwoNodeSpec) {
+  auto t = Topology::from_spec("0-1;2-3");
+  ASSERT_TRUE(t.has_value());
+  // rr walks cpu ids in order, wrapping.
+  EXPECT_EQ(t->cpu_for({Policy::kRoundRobin, 0}, 0), 0u);
+  EXPECT_EQ(t->cpu_for({Policy::kRoundRobin, 0}, 3), 3u);
+  EXPECT_EQ(t->cpu_for({Policy::kRoundRobin, 0}, 4), 0u);
+  // scatter alternates nodes: thread i lands on node i % 2.
+  EXPECT_EQ(t->node_for({Policy::kScatter, 0}, 0), 0u);
+  EXPECT_EQ(t->node_for({Policy::kScatter, 0}, 1), 1u);
+  EXPECT_EQ(t->node_for({Policy::kScatter, 0}, 2), 0u);
+  EXPECT_EQ(t->node_for({Policy::kScatter, 0}, 3), 1u);
+  // node:k confines every thread to that node, wrapping within it.
+  for (unsigned i = 0; i < 8; ++i) {
+    EXPECT_EQ(t->node_for({Policy::kNode, 1}, i), 1u);
+  }
+  // compact fills node 0 completely before node 1.
+  EXPECT_EQ(t->node_for({Policy::kCompact, 0}, 0), 0u);
+  EXPECT_EQ(t->node_for({Policy::kCompact, 0}, 1), 0u);
+  EXPECT_EQ(t->node_for({Policy::kCompact, 0}, 2), 1u);
+  EXPECT_EQ(t->node_for({Policy::kCompact, 0}, 3), 1u);
+}
+
+// --- thread-node override --------------------------------------------------
+
+TEST(TopologyOverride, ScopedThreadNodeSetsAndRestores) {
+  auto t = Topology::from_spec("0-1;2-3");
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(Topology::thread_node_override(), Topology::kUnsetNode);
+  {
+    ScopedThreadNode on_node1(1);
+    EXPECT_EQ(t->current_node(), 1u);
+    {
+      ScopedThreadNode on_node0(0);
+      EXPECT_EQ(t->current_node(), 0u);
+    }
+    EXPECT_EQ(t->current_node(), 1u);
+  }
+  EXPECT_EQ(Topology::thread_node_override(), Topology::kUnsetNode);
+}
+
+TEST(TopologyOverride, OverrideClampsIntoRange) {
+  auto t = Topology::from_spec("0-1;2-3");
+  ASSERT_TRUE(t.has_value());
+  ScopedThreadNode way_out(7);
+  EXPECT_LT(t->current_node(), t->node_count());
+}
+
+}  // namespace
+}  // namespace wcq
