@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Assert the degree-specialization targets from a bench_pipeline report.
+
+Two gates, both against the JSON written by bench_pipeline (--json=...):
+
+Zeros gate (always): on the p8to1 panel, the raw MPSC ring's consumer role
+must report *exactly* zero shared Head/Tail F&As and zero threshold RMWs
+per consumer-executed op. The MPSC consumer path (DESIGN.md §13) contains
+no counted site at all — Head is a plain load + release store and the
+threshold was deleted, not merely made cheap — so the counter sums are
+integer zero on any host, 1-core CI included. Any nonzero value means an
+RMW crept back into the consumer path.
+
+Speedup gate (--min-speedup): Mode::kPipeline MPSC shards must beat the
+full-MPMC sharded baseline by the given throughput factor at every thread
+count both series measured. Wall-clock ratios are not CI-stable, so this
+gate runs against the committed BENCH_PR8.json (produced on a quiet host),
+not against the smoke run — the PR 8 acceptance bar is 1.2x on p8to1.
+
+Usage: check_pipeline.py REPORT.json [--workload p8to1] [--series Mpsc]
+                         [--min-speedup 1.2]
+                         [--pipeline-series Sharded-pipeline]
+                         [--baseline-series Sharded-wCQ]
+Exit status: 0 on pass, 1 on a missed target or malformed report.
+"""
+
+import argparse
+import json
+import sys
+
+# Exact-zero tolerance: the means come through printf("%.6f") on integer-
+# zero counter sums, so anything above rounding noise is a real RMW.
+ZERO_TOL = 1e-9
+
+
+def series_points(panel, name):
+    for series in panel.get("series", []):
+        if series.get("name") == name:
+            return {p["threads"]: p for p in series.get("points", [])}
+    return None
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("report", help="JSON written by bench_pipeline --json=...")
+    ap.add_argument("--workload", default="p8to1",
+                    help="panel workload to check (default: p8to1)")
+    ap.add_argument("--series", default="Mpsc",
+                    help="series for the consumer-zeros gate (default: Mpsc)")
+    ap.add_argument("--min-speedup", type=float, default=None,
+                    help="if set, the pipeline series must beat the baseline "
+                         "by this throughput factor at every common thread "
+                         "count (the PR 8 acceptance bar is 1.2)")
+    ap.add_argument("--pipeline-series", default="Sharded-pipeline",
+                    help="speedup-gate numerator (default: Sharded-pipeline)")
+    ap.add_argument("--baseline-series", default="Sharded-wCQ",
+                    help="speedup-gate denominator (default: Sharded-wCQ)")
+    args = ap.parse_args()
+
+    with open(args.report) as f:
+        report = json.load(f)
+
+    panels = [p for p in report.get("panels", [])
+              if p.get("workload") == args.workload]
+    if not panels:
+        print(f"check_pipeline: no '{args.workload}' panel in {args.report}")
+        return 1
+
+    failures = 0
+    checked = 0
+    for panel in panels:
+        caption = panel.get("caption")
+        pts = series_points(panel, args.series)
+        if pts is None:
+            print(f"check_pipeline: panel '{caption}' lacks "
+                  f"'{args.series}' series")
+            return 1
+        if not pts:
+            print(f"check_pipeline: '{args.series}' series has no points "
+                  f"(all sweep points skipped?)")
+            return 1
+        for threads in sorted(pts):
+            faa = pts[threads].get("cons_faa_per_op_mean")
+            thld = pts[threads].get("cons_thld_per_op_mean")
+            if faa is None or thld is None:
+                print("check_pipeline: report lacks cons_*_per_op_mean "
+                      "— counters out of date?")
+                return 1
+            checked += 1
+            ok = abs(faa) <= ZERO_TOL and abs(thld) <= ZERO_TOL
+            print(f"check_pipeline: [{caption}] threads={threads} consumer "
+                  f"faa/op {faa:.6f} thld/op {thld:.6f} (need exactly 0) "
+                  f"{'ok' if ok else 'FAIL'}")
+            if not ok:
+                failures += 1
+
+        if args.min_speedup is not None:
+            pipe = series_points(panel, args.pipeline_series)
+            base = series_points(panel, args.baseline_series)
+            if pipe is None or base is None:
+                print(f"check_pipeline: panel '{caption}' lacks "
+                      f"'{args.pipeline_series}'/'{args.baseline_series}' "
+                      f"series")
+                return 1
+            common = sorted(set(pipe) & set(base))
+            if not common:
+                print("check_pipeline: no common thread counts for the "
+                      "speedup gate")
+                return 1
+            for threads in common:
+                base_mops = base[threads]["mops_mean"]
+                pipe_mops = pipe[threads]["mops_mean"]
+                if base_mops <= 0:
+                    print(f"check_pipeline: baseline mops is {base_mops} at "
+                          f"{threads} thread(s) — report broken?")
+                    return 1
+                ratio = pipe_mops / base_mops
+                checked += 1
+                ok = ratio >= args.min_speedup
+                print(f"check_pipeline: [{caption}] threads={threads} "
+                      f"{base_mops:.2f} -> {pipe_mops:.2f} Mops "
+                      f"({ratio:.2f}x, need {args.min_speedup:.2f}x) "
+                      f"{'ok' if ok else 'FAIL'}")
+                if not ok:
+                    failures += 1
+
+    if checked == 0:
+        print("check_pipeline: no comparable points found")
+        return 1
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,32 +1,38 @@
-// sharded_pipeline — a two-stage data pipeline on the sharded front-end
-// (src/scale/sharded_queue.hpp), written against the explicit-handle API
-// (DESIGN.md §10) as the usage reference for it.
+// sharded_pipeline — a two-stage data pipeline on the sharded front-end in
+// pipeline mode (DESIGN.md §13): every shard is an MPSC ring with exactly
+// one owning consumer, so the drain side runs on plain loads and release
+// stores — zero F&As, zero threshold RMWs — while producers keep the full
+// MPMC enqueue path (home-shard hash plus spill sweep on full).
 //
-// Each stage worker acquires one session handle for its lifetime —
-// `queue.acquire()` — and every operation takes it: the handle caches the
-// worker's home shard and its per-shard ring/magazine sessions, so the hot
-// loop performs no registry or thread_local lookups at all (the implicit
-// API would resolve the thread_local tid once per call; see the README
-// migration table).
+// The usage shape this example is the reference for:
 //
-// Stage 1 threads produce work items in batches (enqueue_bulk amortizes the
-// ring traffic), stage 2 threads drain in batches and fold a checksum.
-// Backpressure is real: when every shard is full the producers' bulk call
-// reports partial success and they retry the unsent tail. Run it with no
-// arguments; it prints the per-stage totals and verifies nothing was lost.
+//   * `ShardedQueue<u64, MpscRing>` with `Options::mode = Mode::kPipeline`.
+//   * Stage-1 workers take ordinary `acquire()` sessions and enqueue in
+//     batches; backpressure is real (bulk reports partial success on full
+//     and the producer retries the unsent tail).
+//   * Stage-2 workers take `acquire_consumer(shard)` sessions — one worker
+//     per shard, the session pins the thread to the shard's home NUMA node
+//     and its sweep is exactly that shard. A plain `dequeue()` (or any
+//     non-consumer session) would trap: in pipeline mode a stray dequeue
+//     would bind a shard's single-consumer ring to a thread that will
+//     never drain it.
+//   * Termination needs no main-thread leftover sweep, and must not have
+//     one (it would be a second consumer): each shard has exactly one
+//     consumer, so that consumer's empty probe after stage 1 exits is
+//     authoritative for its shard.
 #include <atomic>
 #include <cstdio>
 #include <thread>
 #include <vector>
 
 #include "common/backoff.hpp"
+#include "core/mpsc_ring.hpp"
 #include "scale/sharded_queue.hpp"
 
 namespace {
 
 constexpr unsigned kProducers = 2;
-constexpr unsigned kConsumers = 2;
-constexpr unsigned kShards = 4;
+constexpr unsigned kShards = 4;  // one consumer per shard
 constexpr unsigned kShardOrder = 8;  // 256 items per shard
 constexpr wcq::u64 kItemsPerProducer = 100000;
 constexpr std::size_t kBatch = 32;
@@ -35,7 +41,13 @@ constexpr std::size_t kBatch = 32;
 
 int main() {
   using namespace wcq;
-  ShardedQueue<u64> queue(kShards, kShardOrder);
+  using Pipeline = ShardedQueue<u64, MpscRing>;
+  Pipeline::Options opt;
+  opt.shards = kShards;
+  opt.shard_order = kShardOrder;
+  opt.mode = Pipeline::Mode::kPipeline;
+  Pipeline queue(opt);
+
   std::atomic<u64> produced{0};
   std::atomic<u64> consumed{0};
   std::atomic<u64> checksum{0};
@@ -44,7 +56,8 @@ int main() {
   std::vector<std::thread> threads;
   for (unsigned p = 0; p < kProducers; ++p) {
     threads.emplace_back([&, p] {
-      // One session per worker lifetime; every queue call below takes it.
+      // One producer session per worker lifetime; the enqueue side of
+      // pipeline mode is the ordinary §10 handle API.
       auto handle = queue.acquire();
       Backoff bo;
       u64 buf[kBatch];
@@ -73,13 +86,13 @@ int main() {
         produced.fetch_add(span, std::memory_order_relaxed);
       }
       producers_live.fetch_sub(1, std::memory_order_release);
-      // The handle is destroyed here, before the queue: session state
-      // (cached free indices) flushes back to the shards.
     });
   }
-  for (unsigned c = 0; c < kConsumers; ++c) {
-    threads.emplace_back([&] {
-      auto handle = queue.acquire();
+  for (unsigned s = 0; s < queue.shard_count(); ++s) {
+    threads.emplace_back([&, s] {
+      // The owning-consumer session: pinned to shard s's home node, sweep
+      // = {s}, and the only session allowed to dequeue in pipeline mode.
+      auto handle = queue.acquire_consumer(s);
       Backoff bo;
       u64 buf[kBatch];
       u64 local_sum = 0;
@@ -92,9 +105,10 @@ int main() {
           bo.reset();
           continue;
         }
-        // Empty after a full steal sweep: finished only once stage 1 is done
-        // and a final authoritative probe still finds nothing. The probe may
-        // itself land an element — fold it in, never drop it.
+        // Empty. Finished only once stage 1 is done and a final probe
+        // still finds nothing — authoritative, because this thread is the
+        // shard's ONLY consumer: nobody else can have raced an element out,
+        // and producers are done, so empty-now means empty-forever.
         if (producers_live.load(std::memory_order_acquire) == 0) {
           if (auto v = queue.dequeue(handle)) {
             local_sum += *v;
@@ -112,21 +126,16 @@ int main() {
   }
   for (auto& t : threads) t.join();
 
-  // The drain loop's final single-op probe can race another consumer's bulk
-  // grab; sweep up any leftovers on the main thread.
-  while (auto v = queue.dequeue()) {
-    checksum.fetch_add(*v, std::memory_order_relaxed);
-    consumed.fetch_add(1, std::memory_order_relaxed);
-  }
-
   u64 expect_sum = 0;
   for (unsigned p = 0; p < kProducers; ++p) {
     for (u64 i = 0; i < kItemsPerProducer; ++i) {
       expect_sum += (u64{p} << 32) | i;
     }
   }
-  std::printf("sharded_pipeline: %u shards, %u+%u threads, batch %zu\n",
-              queue.shard_count(), kProducers, kConsumers, kBatch);
+  std::printf(
+      "sharded_pipeline: %u MPSC shards (pipeline mode), %u producers, "
+      "batch %zu\n",
+      queue.shard_count(), kProducers, kBatch);
   std::printf("  produced=%llu consumed=%llu checksum %s\n",
               static_cast<unsigned long long>(produced.load()),
               static_cast<unsigned long long>(consumed.load()),

@@ -23,8 +23,11 @@
 #include "common/topology.hpp"
 #include "core/bounded_queue.hpp"
 #include "core/entry.hpp"
+#include "core/mpsc_ring.hpp"
 #include "core/remap.hpp"
 #include "core/scq.hpp"
+#include "core/session_guard.hpp"
+#include "core/spmc_ring.hpp"
 #include "core/unbounded_queue.hpp"
 #include "core/wcq.hpp"
 #include "core/wcq_llsc.hpp"
@@ -41,4 +44,6 @@ namespace wcq {
 template class BoundedQueue<std::uint64_t, WCQ>;
 template class BoundedQueue<std::uint64_t, SCQ>;
 template class BoundedQueue<std::uint64_t, WCQLLSC>;
+template class BoundedQueue<std::uint64_t, MpscRing>;
+template class BoundedQueue<std::uint64_t, SpmcRing>;
 }  // namespace wcq

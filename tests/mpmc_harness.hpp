@@ -140,6 +140,11 @@ void run_mpmc_exactly_once(Queue& q, const MpmcConfig& cfg,
           bo.pause();  // empty: wait for producers
         }
       }
+      // Terminal emptiness, probed from a consumer thread: once `consumed`
+      // hit `total` nothing can reappear, and single-consumer rings
+      // (MpscRing) bind the dequeue role to this thread — a probe from the
+      // orchestrator would be a second consumer session.
+      ASSERT_FALSE(q.dequeue().has_value()) << "queue not empty at the end";
     });
   }
 
@@ -147,7 +152,6 @@ void run_mpmc_exactly_once(Queue& q, const MpmcConfig& cfg,
   for (auto& t : threads) t.join();
 
   ASSERT_EQ(consumed.load(), total);
-  ASSERT_FALSE(q.dequeue().has_value()) << "queue not empty at the end";
   check_consumer_logs(logs, cfg, items_per_producer, check_fifo);
 }
 
@@ -223,6 +227,9 @@ void run_mpmc_bulk_exactly_once(Queue& q, const MpmcConfig& cfg,
           bo.pause();  // empty: wait for producers
         }
       }
+      // In-thread terminal probe, as in run_mpmc_exactly_once: a consumer
+      // role may be thread-bound (single-consumer rings).
+      ASSERT_FALSE(q.dequeue().has_value()) << "queue not empty at the end";
     });
   }
 
@@ -230,7 +237,6 @@ void run_mpmc_bulk_exactly_once(Queue& q, const MpmcConfig& cfg,
   for (auto& t : threads) t.join();
 
   ASSERT_EQ(consumed.load(), total);
-  ASSERT_FALSE(q.dequeue().has_value()) << "queue not empty at the end";
   check_consumer_logs(logs, cfg, items_per_producer, check_fifo);
 }
 
@@ -276,13 +282,15 @@ void run_mpmc_count_exact(Ring& q, unsigned producers, unsigned consumers,
           bo.pause();  // empty: wait for a producer
         }
       }
+      // In-thread terminal probe (see run_mpmc_exactly_once): the dequeue
+      // role may be thread-bound on single-consumer rings.
+      EXPECT_FALSE(q.dequeue().has_value());
     });
   }
   for (auto& t : ts) t.join();
   for (unsigned p = 0; p < producers; ++p) {
     EXPECT_EQ(counts[p].load(), per_producer) << "producer " << p;
   }
-  EXPECT_FALSE(q.dequeue().has_value());
 }
 
 // Single-threaded strict-FIFO check, applicable to every queue type.
