@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""CI gate over bench_latency's JSON report (DESIGN.md §14).
+
+Checks are accounting and schema properties, not wall-clock thresholds, so
+they hold on a noisy 1-core runner:
+
+  * both consumer series are present (``spin`` and ``park``);
+  * zero lost elements: received == sent and lost == 0 in each series —
+    close() drained every in-flight element, nothing vanished across the
+    park/wake edges;
+  * samples == received (every delivered element contributed a latency);
+  * percentiles are sane: non-negative and monotone
+    p50 <= p90 <= p99 <= p999 <= max, mean <= max;
+  * stranded == 0: no consumer was ever parked past a wake it was owed
+    (the analysis-tier lost-wakeup detector; always 0 in release builds);
+  * the park series is the one that parks: recv_parks on the spin series
+    is exactly 0 (its consumer never calls recv()).
+
+Exit status 0 when every check passes, 1 otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+REQUIRED_SERIES = ("spin", "park")
+PCT_KEYS = ("p50", "p90", "p99", "p999")
+
+
+def fail(msg):
+    print(f"check_latency: FAIL: {msg}")
+    return 1
+
+
+def check_series(s):
+    rc = 0
+    name = s.get("name", "<unnamed>")
+    sent = s.get("sent", -1)
+    received = s.get("received", -1)
+    lost = s.get("lost", -1)
+    if sent <= 0:
+        rc |= fail(f"[{name}] sent={sent}, expected > 0")
+    if received != sent:
+        rc |= fail(f"[{name}] received={received} != sent={sent}")
+    if lost != 0:
+        rc |= fail(f"[{name}] lost={lost}, expected 0")
+    lat = s.get("latency_ns")
+    if not isinstance(lat, dict):
+        return rc | fail(f"[{name}] missing latency_ns object")
+    if lat.get("samples", -1) != received:
+        rc |= fail(
+            f"[{name}] samples={lat.get('samples')} != received={received}")
+    prev_key, prev = None, -1.0
+    for key in PCT_KEYS:
+        v = lat.get(key)
+        if v is None or v < 0:
+            rc |= fail(f"[{name}] latency_ns.{key}={v}, expected >= 0")
+            continue
+        if v < prev:
+            rc |= fail(f"[{name}] {key}={v} < {prev_key}={prev}: "
+                       "percentiles not monotone")
+        prev_key, prev = key, v
+    vmax = lat.get("max", -1)
+    if vmax < prev:
+        rc |= fail(f"[{name}] max={vmax} < {prev_key}={prev}")
+    if not 0 <= lat.get("mean", -1) <= vmax:
+        rc |= fail(f"[{name}] mean={lat.get('mean')} outside [0, max={vmax}]")
+    chan = s.get("channel")
+    if not isinstance(chan, dict):
+        return rc | fail(f"[{name}] missing channel counters object")
+    if chan.get("stranded", -1) != 0:
+        rc |= fail(f"[{name}] stranded={chan.get('stranded')}: "
+                   "a parked waiter missed its wake")
+    if name == "spin" and chan.get("recv_parks", -1) != 0:
+        rc |= fail(f"[spin] recv_parks={chan.get('recv_parks')}: "
+                   "the spinning consumer must never park")
+    return rc
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("json_path", help="bench_latency JSON report")
+    args = ap.parse_args()
+
+    with open(args.json_path) as f:
+        report = json.load(f)
+
+    if report.get("bench") != "latency":
+        return fail(f"unexpected bench id {report.get('bench')!r}")
+
+    series = {s.get("name"): s for s in report.get("series", [])}
+    rc = 0
+    for name in REQUIRED_SERIES:
+        if name not in series:
+            rc |= fail(f"series {name!r} missing from report")
+            continue
+        rc |= check_series(series[name])
+
+    if rc == 0:
+        for name in REQUIRED_SERIES:
+            s = series[name]
+            lat = s["latency_ns"]
+            chan = s["channel"]
+            print(f"check_latency: OK [{name}] sent={s['sent']} "
+                  f"received={s['received']} lost=0 "
+                  f"p50={lat['p50']:.0f}ns p99={lat['p99']:.0f}ns "
+                  f"p999={lat['p999']:.0f}ns "
+                  f"parks={chan['send_parks'] + chan['recv_parks']}")
+    return rc
+
+
+if __name__ == "__main__":
+    sys.exit(main())

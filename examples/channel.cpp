@@ -5,112 +5,37 @@
 // their concurrency and synchronization constructs. For example, Go needs a
 // queue for its buffered channel implementation."
 //
-// Channel<T> wraps BoundedQueue<T> with blocking send/recv and close()
-// semantics. The queue operations themselves are wait-free; blocking is
-// implemented with bounded spinning + condition-variable parking, so the
-// fast path (non-empty/non-full channel) never touches a mutex.
+// This demo uses the library's wcq::Channel<T> (runtime/channel.hpp): a
+// blocking facade over BoundedQueue whose fast path never touches a mutex —
+// the queue operations stay wait-free, and blocking is bounded spinning
+// followed by futex/eventcount parking with a lost-wakeup-free
+// prepare/re-check/commit protocol (DESIGN.md §14). An earlier revision of
+// this example hand-rolled the parking with a try_lock-guarded condvar
+// notify, which can miss a parker between its failed fast path and its
+// wait; the eventcount replaces that with a checked protocol.
 //
 // The demo wires a small pipeline: N producers -> channel -> M workers ->
-// channel -> 1 aggregator, and checks the aggregate.
+// channel -> 1 aggregator, and checks the aggregate. Each thread holds one
+// Channel::Handle for its lifetime (the DESIGN.md §10 session discipline);
+// close() is called by the last producer/worker and the downstream side
+// drains the residual elements before seeing kClosed.
 #include <atomic>
-#include <condition_variable>
 #include <cstdio>
-#include <mutex>
-#include <optional>
 #include <thread>
 #include <vector>
 
-#include "common/cpu.hpp"
-#include "core/bounded_queue.hpp"
+#include "runtime/channel.hpp"
 
-namespace {
-
-template <typename T>
-class Channel {
- public:
-  explicit Channel(unsigned order) : queue_(order) {}
-
-  // Blocks while the channel is full. Returns false if the channel closed.
-  bool send(T v) {
-    for (;;) {
-      if (closed_.load(std::memory_order_acquire)) return false;
-      // Fast path: wait-free enqueue attempt with bounded spinning.
-      for (int spin = 0; spin < kSpins; ++spin) {
-        if (queue_.enqueue(std::move(v))) {
-          wake_receivers();
-          return true;
-        }
-        wcq::cpu_relax();
-      }
-      // Slow path: park until a receiver makes room.
-      std::unique_lock<std::mutex> lk(mu_);
-      not_full_.wait_for(lk, std::chrono::milliseconds(1));
-    }
-  }
-
-  // Blocks while the channel is empty. nullopt once closed AND drained.
-  std::optional<T> recv() {
-    for (;;) {
-      for (int spin = 0; spin < kSpins; ++spin) {
-        if (auto v = queue_.dequeue()) {
-          wake_senders();
-          return v;
-        }
-        if (closed_.load(std::memory_order_acquire)) {
-          // Drained check must come after the dequeue attempt.
-          if (auto v2 = queue_.dequeue()) {
-            wake_senders();
-            return v2;
-          }
-          return std::nullopt;
-        }
-        wcq::cpu_relax();
-      }
-      std::unique_lock<std::mutex> lk(mu_);
-      not_empty_.wait_for(lk, std::chrono::milliseconds(1));
-    }
-  }
-
-  void close() {
-    closed_.store(true, std::memory_order_release);
-    std::lock_guard<std::mutex> lk(mu_);
-    not_empty_.notify_all();
-    not_full_.notify_all();
-  }
-
- private:
-  static constexpr int kSpins = 256;
-
-  void wake_receivers() {
-    // Cheap heuristic: only take the lock when someone may be parked.
-    if (mu_.try_lock()) {
-      not_empty_.notify_one();
-      mu_.unlock();
-    }
-  }
-  void wake_senders() {
-    if (mu_.try_lock()) {
-      not_full_.notify_one();
-      mu_.unlock();
-    }
-  }
-
-  wcq::BoundedQueue<T> queue_;
-  std::atomic<bool> closed_{false};
-  std::mutex mu_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-};
-
-}  // namespace
+using wcq::ChanStatus;
+using wcq::Channel;
 
 int main() {
   constexpr int kProducers = 3;
   constexpr int kWorkers = 4;
   constexpr int kJobsPerProducer = 100000;
 
-  Channel<int> jobs(8);      // buffered channel, capacity 256
-  Channel<long> results(8);
+  Channel<int> jobs(8u);      // buffered channel, capacity 256
+  Channel<long> results(8u);
 
   std::vector<std::thread> threads;
   std::atomic<int> producers_left{kProducers};
@@ -118,16 +43,20 @@ int main() {
 
   for (int p = 0; p < kProducers; ++p) {
     threads.emplace_back([&, p] {
+      auto h = jobs.acquire();
       for (int i = 0; i < kJobsPerProducer; ++i) {
-        jobs.send(p * kJobsPerProducer + i);
+        jobs.send(h, p * kJobsPerProducer + i);
       }
       if (producers_left.fetch_sub(1) == 1) jobs.close();
     });
   }
   for (int w = 0; w < kWorkers; ++w) {
     threads.emplace_back([&] {
-      while (auto job = jobs.recv()) {
-        results.send(static_cast<long>(*job) * 2);  // "work"
+      auto hj = jobs.acquire();
+      auto hr = results.acquire();
+      int job = 0;
+      while (jobs.recv(hj, job) == ChanStatus::kOk) {
+        results.send(hr, static_cast<long>(job) * 2);  // "work"
       }
       if (workers_left.fetch_sub(1) == 1) results.close();
     });
@@ -135,14 +64,25 @@ int main() {
 
   long sum = 0;
   long count = 0;
-  while (auto r = results.recv()) {
-    sum += *r;
-    ++count;
+  {
+    auto hr = results.acquire();
+    long r = 0;
+    while (results.recv(hr, r) == ChanStatus::kOk) {
+      sum += r;
+      ++count;
+    }
   }
   for (auto& t : threads) t.join();
 
+  const auto jstats = jobs.stats();
+  const auto rstats = results.stats();
   const long n = static_cast<long>(kProducers) * kJobsPerProducer;
   const long expect = (n - 1) * n;  // sum of 2*i for i in [0, n)
+  std::printf("parks: jobs send=%llu recv=%llu, results send=%llu recv=%llu\n",
+              static_cast<unsigned long long>(jstats.send_parks),
+              static_cast<unsigned long long>(jstats.recv_parks),
+              static_cast<unsigned long long>(rstats.send_parks),
+              static_cast<unsigned long long>(rstats.recv_parks));
   std::printf("received %ld results, sum=%ld (expected %ld) -> %s\n", count,
               sum, expect, (count == n && sum == expect) ? "OK" : "MISMATCH");
   return (count == n && sum == expect) ? 0 : 1;

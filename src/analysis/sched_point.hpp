@@ -55,6 +55,12 @@ enum class Site : std::uint8_t {
   kPoolOp,         // segment pool take/put edge
   kRegistry,       // registry slot acquire / high-water advance
   kOpBoundary,     // harness-injected operation invocation/response marker
+  kParkPrepare,    // eventcount prepare_wait: waiter count published
+  kParkCancel,     // eventcount cancel_wait: waiter count retracted
+  kParkCommit,     // eventcount commit_wait: park edge (and each cooperative
+                   //   re-check iteration under the analysis scheduler)
+  kParkWake,       // eventcount notify: epoch bump / futex wake edge
+  kChanClose,      // channel close: closed-flag publish before the wake storm
   kSiteCount,
 };
 

@@ -27,6 +27,7 @@
 // waits on a peer; it does not use Backoff (see DESIGN.md §5).
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <thread>
 
@@ -59,6 +60,21 @@ class Backoff {
       std::this_thread::yield();
       ++yields_;
     }
+  }
+
+  // Deadline-aware pause() for spin-then-park loops (runtime/channel.hpp):
+  // identical ladder, but returns false once `deadline` has passed so the
+  // caller can stop retrying. The clock is read only after the spin rounds
+  // are exhausted — the pure-spin phase stays syscall- and clock-free, at
+  // the cost of overshooting a deadline by at most the ladder's few
+  // microseconds of spinning.
+  bool until(std::chrono::steady_clock::time_point deadline) {
+    if (round_ >= spin_rounds_ &&
+        std::chrono::steady_clock::now() >= deadline) {
+      return false;
+    }
+    pause();
+    return true;
   }
 
   // Restart the ladder after the guarded condition made progress.

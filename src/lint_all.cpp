@@ -34,6 +34,8 @@
 #include "portability/llsc.hpp"
 #include "reclaim/hazard_pointers.hpp"
 #include "reclaim/segment_pool.hpp"
+#include "runtime/channel.hpp"
+#include "runtime/eventcount.hpp"
 #include "runtime/thread_registry.hpp"
 #include "scale/index_magazine.hpp"
 #include "scale/sharded_queue.hpp"
@@ -46,4 +48,6 @@ template class BoundedQueue<std::uint64_t, SCQ>;
 template class BoundedQueue<std::uint64_t, WCQLLSC>;
 template class BoundedQueue<std::uint64_t, MpscRing>;
 template class BoundedQueue<std::uint64_t, SpmcRing>;
+template class Channel<std::uint64_t, BoundedQueue<std::uint64_t, WCQ>>;
+template class Channel<std::uint64_t, ShardedQueue<std::uint64_t, WCQ>>;
 }  // namespace wcq

@@ -351,7 +351,24 @@ class ShardedQueue {
   // --- operations ----------------------------------------------------------
 
   // False only after every shard rejected the element during one sweep.
-  bool enqueue(T value) {
+  bool enqueue(T value) { return enqueue_movable(value); }
+
+  bool enqueue(Handle& h, T value) { return enqueue_movable(h, value); }
+
+  // Value-preserving variant (mirrors BoundedQueue::enqueue_movable): `value`
+  // is moved from only on success, so retry loops — the blocking Channel send
+  // path — can re-offer the same element after a full sweep failed.
+  bool enqueue_movable(Handle& h, T& value) {
+    for (const unsigned i : h.sweep_) {
+      if (shards_[i]->enqueue_movable(h.shards_[i], value)) {
+        if (shard_node_[i] != h.node_) opcount::count_remote_steal();
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool enqueue_movable(T& value) {
     const unsigned tid = ThreadRegistry::tid();
     const unsigned node = topo_->current_node();
     const auto& loc = local_[node];
@@ -365,16 +382,6 @@ class ShardedQueue {
       auto shh = sh.handle_for(tid);
       if (sh.enqueue_movable(shh, value)) {
         if (shard_node_[i] != node) opcount::count_remote_steal();
-        return true;
-      }
-    }
-    return false;
-  }
-
-  bool enqueue(Handle& h, T value) {
-    for (const unsigned i : h.sweep_) {
-      if (shards_[i]->enqueue_movable(h.shards_[i], value)) {
-        if (shard_node_[i] != h.node_) opcount::count_remote_steal();
         return true;
       }
     }

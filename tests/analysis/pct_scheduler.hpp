@@ -58,6 +58,26 @@ class PctScheduler {
     // worker is dropped below everyone else (spin-loop fairness).
     std::size_t quota = 64;
     std::chrono::milliseconds watchdog{5000};
+    // Stall injection (DESIGN.md §14): suspend worker `stall_victim` the
+    // first time it reaches its `stall_after`-th own step, as if the OS
+    // descheduled it indefinitely mid-operation. A stalled worker is never
+    // granted the processor; it resumes only when no other worker can run
+    // (everyone else finished or parked in uninstrumented code) — so every
+    // op the other workers complete in between is completed *against a
+    // suspended peer*, which is precisely the wait-freedom claim under test.
+    // A "killed" peer (pipeline consumer that never comes back) is the same
+    // mechanism with the victim's script abandoning its remaining ops once
+    // it observes stall_resumed() — see tests/analysis/test_stall_injection.
+    int stall_victim = -1;        // worker index; -1 disables
+    std::size_t stall_after = 1;  // own-step count at which the stall hits
+    // Optional bounded-suspension mode: resume the victim once the *other*
+    // workers have taken this many scheduling steps since the stall (0 =
+    // only the quiescence trigger above). Use it for shapes where the peers
+    // cannot reach quiescence without the victim (e.g. the victim owns the
+    // close()) — the bound must sit well below EventCount's virtual-park
+    // budget so a peer parked against the stalled victim is resumed-at
+    // rather than stranded.
+    std::size_t stall_duration = 0;
   };
 
   explicit PctScheduler(const Config& cfg) : cfg_(cfg), ws_(cfg.workers) {
@@ -135,6 +155,23 @@ class PctScheduler {
   bool watchdog_fired() const { return watchdog_fired_; }
   std::size_t total_steps() const { return total_steps_; }
 
+  // Stall-injection observability (worker- or post-run-side; locked).
+  bool stall_hit() {
+    std::lock_guard<std::mutex> lk(mu_);
+    return stall_hit_;
+  }
+  bool stall_resumed() {
+    std::lock_guard<std::mutex> lk(mu_);
+    return stall_resumed_;
+  }
+  // Steps every worker other than the victim executed while the victim sat
+  // suspended — the quantitative wait-freedom witness (> 0 means real work
+  // completed against a stalled peer).
+  std::size_t steps_during_stall() {
+    std::lock_guard<std::mutex> lk(mu_);
+    return steps_during_stall_;
+  }
+
  private:
   static constexpr std::uint64_t kPriorityBase = 1u << 20;
   static constexpr std::uint64_t kDemoteBase = 1u << 19;
@@ -144,6 +181,7 @@ class PctScheduler {
   struct WorkerState {
     bool attached = false;
     bool finished = false;
+    bool stalled = false;
     std::uint64_t priority = 0;
     std::size_t steps = 0;
     std::size_t consecutive = 0;
@@ -171,6 +209,21 @@ class PctScheduler {
     ++total_steps_;
     ++st.steps;
     ++st.consecutive;
+    if (stall_hit_ && !stall_resumed_ && w != cfg_.stall_victim) {
+      ++steps_during_stall_;
+      if (cfg_.stall_duration != 0 &&
+          steps_during_stall_ >= cfg_.stall_duration) {
+        for (auto& s : ws_) s.stalled = false;
+        stall_resumed_ = true;
+      }
+    }
+    if (w == cfg_.stall_victim && !stall_hit_ && st.steps >= cfg_.stall_after) {
+      // The victim is suspended *at* this sched point: it keeps the grant
+      // request below but schedule_locked will never pick it while stalled,
+      // so it blocks here until the resume condition fires.
+      st.stalled = true;
+      stall_hit_ = true;
+    }
     bool demote = false;
     for (const std::size_t s : change_steps_) {
       if (s == total_steps_) demote = true;
@@ -185,14 +238,28 @@ class PctScheduler {
     wait_for_grant(lk, static_cast<unsigned>(w));
   }
 
-  // Grant the highest-priority attached, unfinished worker (or nobody).
+  // Grant the highest-priority attached, unfinished, unstalled worker (or
+  // nobody). When a stall leaves no grantable worker — every peer of the
+  // victim finished — the victim resumes: the suspension was "indefinite"
+  // from the peers' point of view (they completed all their work against it)
+  // and the resume lets the run terminate so finish()/join() can assert on
+  // what happened during the stall window.
   void schedule_locked() {
     if (attached_ < cfg_.workers) return;  // start gate still closed
+    current_ = pick_locked();
+    if (current_ < 0 && stall_hit_ && !stall_resumed_) {
+      for (auto& st : ws_) st.stalled = false;
+      stall_resumed_ = true;
+      current_ = pick_locked();
+    }
+  }
+
+  int pick_locked() {
     int best = -1;
     std::uint64_t best_prio = 0;
     for (unsigned i = 0; i < cfg_.workers; ++i) {
       const auto& st = ws_[i];
-      if (!st.attached || st.finished) continue;
+      if (!st.attached || st.finished || st.stalled) continue;
       if (best < 0 || st.priority > best_prio) {
         best = static_cast<int>(i);
         best_prio = st.priority;
@@ -201,7 +268,7 @@ class PctScheduler {
     if (best != current_ && best >= 0) {
       ws_[static_cast<unsigned>(best)].consecutive = 0;
     }
-    current_ = best;
+    return best;
   }
 
   void wait_for_grant(std::unique_lock<std::mutex>& lk, unsigned w) {
@@ -238,6 +305,9 @@ class PctScheduler {
   std::size_t total_steps_ = 0;
   bool free_run_ = false;
   bool watchdog_fired_ = false;
+  bool stall_hit_ = false;
+  bool stall_resumed_ = false;
+  std::size_t steps_during_stall_ = 0;
   std::vector<std::uint8_t> trace_;
   std::chrono::steady_clock::time_point start_;
 };

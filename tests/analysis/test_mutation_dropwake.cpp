@@ -1,0 +1,72 @@
+// Mutation self-test (DESIGN.md §14): drop the post-send wake. This binary
+// compiles runtime/channel.hpp with WCQ_ANALYSIS_MUTATE_DROPWAKE, which
+// removes the not_empty_.notify_one() from the successful-send path — the
+// textbook lost-wakeup bug the eventcount exists to prevent. A receiver that
+// committed its park before the send now sleeps through the element.
+//
+// Under the PCT scheduler the sleep is finite (EventCount's virtual park
+// returns spuriously after its budget and tallies stranded), so the injected
+// bug surfaces as stranded > 0 at some schedule instead of a hang — that is
+// the detection the suite demands within the seed budget. The exact-count,
+// no-close workload shape matters: with a close() at the end, close's
+// notify_all would eventually mop up the parked receiver and the dropped
+// per-send wake could go unnoticed.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <iostream>
+
+#include "channel_explore.hpp"
+
+#if !defined(WCQ_ANALYSIS_MUTATE_DROPWAKE)
+#error "this binary must be compiled with WCQ_ANALYSIS_MUTATE_DROPWAKE"
+#endif
+
+namespace wcq {
+namespace {
+
+using analysis_test::run_prodcon_channel;
+
+// The catching interleaving — receiver parks first, sender then runs to
+// completion without ever notifying — needs the receiver to start at the
+// higher PCT priority, roughly half of all seeds; 256 is vast headroom.
+constexpr std::uint64_t kMaxSchedules = 256;
+
+TEST(ChannelMutation, DroppedWakeCaught) {
+  for (std::uint64_t seed = 1; seed <= kMaxSchedules; ++seed) {
+    const auto r = run_prodcon_channel(seed, 8, /*close_at_end=*/false);
+    ASSERT_FALSE(r.watchdog) << "scheduler wedged, seed " << seed;
+    // The spurious-return contract keeps the mutated run *functionally*
+    // complete — the receiver re-checks after the budget and still drains
+    // everything — so completeness must hold even here. Only the stranded
+    // counter distinguishes the broken protocol.
+    ASSERT_EQ(r.received, 8u) << "seed " << seed;
+    if (r.stranded > 0) {
+      std::cout << "dropped wake caught at schedule " << seed << " of "
+                << kMaxSchedules << " (stranded=" << r.stranded << ")\n";
+      SUCCEED();
+      return;
+    }
+  }
+  FAIL() << kMaxSchedules
+         << " schedules missed the dropped wake — the park/wake explorer "
+            "has lost its detection power";
+}
+
+// Without a scheduler installed there is no virtual park, so the mutated
+// binary must still pass a single-threaded (never-parking) workload: the
+// mutation only removes a wake, not queue correctness.
+TEST(ChannelMutation, PassThroughWithoutScheduler) {
+  Channel<std::uint64_t> ch(2u);
+  auto h = ch.acquire();
+  std::uint64_t out = 0;
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    ASSERT_EQ(ch.send(h, i), ChanStatus::kOk);
+    ASSERT_EQ(ch.recv(h, out), ChanStatus::kOk);
+    ASSERT_EQ(out, i);
+  }
+  EXPECT_EQ(ch.stats().stranded, 0u);
+}
+
+}  // namespace
+}  // namespace wcq

@@ -55,6 +55,41 @@ TEST(Backoff, CustomSpinRounds) {
   EXPECT_EQ(eager.yields(), 1u);
 }
 
+TEST(Backoff, UntilHonorsDeadlineOnlyAfterSpinPhase) {
+  // The deadline check is deferred to the yield phase: an already-expired
+  // deadline still lets the cheap spin rounds run (they cost microseconds
+  // and no clock read), and only the first would-be yield reports expiry.
+  Backoff bo;
+  const auto past = std::chrono::steady_clock::now() - std::chrono::hours(1);
+  for (std::uint32_t i = 0; i < Backoff::kSpinRounds; ++i) {
+    EXPECT_TRUE(bo.until(past)) << "spin round " << i << " checked the clock";
+  }
+  EXPECT_TRUE(bo.yielding());
+  EXPECT_FALSE(bo.until(past));
+  EXPECT_EQ(bo.yields(), 0u) << "expired deadline must not yield";
+}
+
+TEST(Backoff, UntilKeepsPausingBeforeDeadline) {
+  Backoff bo(0);  // pure-yield ladder: every until() reads the clock
+  const auto far = std::chrono::steady_clock::now() + std::chrono::hours(1);
+  for (int i = 0; i < 3; ++i) EXPECT_TRUE(bo.until(far));
+  EXPECT_EQ(bo.yields(), 3u);
+}
+
+TEST(Backoff, UntilExpiresWithinTolerance) {
+  // A waiter looping on until() stops within a bounded overshoot of the
+  // deadline (the ladder's spin phase, microseconds — 1s is a generous CI
+  // bound).
+  Backoff bo;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(20);
+  while (bo.until(deadline)) {
+  }
+  const auto overshoot = std::chrono::steady_clock::now() - deadline;
+  EXPECT_GE(overshoot.count(), 0);
+  EXPECT_LT(overshoot, std::chrono::seconds(1));
+}
+
 TEST(Backoff, HandoffCompletesOnOversubscribedHost) {
   // The livelock regression in miniature: two threads ping-pong a flag more
   // times than any plausible scheduling-quantum budget would allow if the
