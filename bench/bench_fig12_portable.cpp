@@ -10,19 +10,37 @@
 #include <cstdio>
 #include <cstring>
 
+#include "common/dwcas.hpp"
 #include "harness/adapters.hpp"
 #include "harness/runner.hpp"
+#include "portability/llsc_native.hpp"
 
 namespace wcq::bench {
 namespace {
+
+// PR 10 backend matrix (DESIGN.md §15): the panels now compare real
+// backends, not just the simulation — which ones this binary actually
+// selected is part of the result, so it goes in the preamble of every run.
+void print_backends() {
+  std::printf("# backends: wCQ/SCQ cas2=%s; wCQ-LLSC llsc=sim",
+              dwcas_backend_name());
+#if defined(WCQ_HAS_NATIVE_LLSC)
+  std::printf("; wCQ-LLSC-native llsc=%s", llsc_backend_name());
+#endif
+  std::printf("\n");
+}
 
 void run_panel(BenchParams p, Workload w, const char* figure,
                const char* caption, JsonReport& report) {
   p.workload = w;
   print_preamble(figure, caption, p);
+  print_backends();
   std::vector<Series> series;
   run_series<FaaAdapter>(p, series);
   run_series<WcqLlscAdapter>(p, series);
+#if defined(WCQ_HAS_NATIVE_LLSC)
+  run_series<WcqLlscNativeAdapter>(p, series);
+#endif
   run_series<WcqAdapter>(p, series);
   run_series<ScqAdapter>(p, series);
   run_series<YmcAdapter>(p, series);

@@ -122,6 +122,39 @@ struct WcqLlscAdapter {
   }
 };
 
+#if defined(WCQ_HAS_NATIVE_LLSC)
+// Native AArch64 exclusive pairs (DESIGN.md §15, LLSC-NATIVE) — same ring,
+// the granule ops go through ldaxp/stlxp instead of the simulated
+// reservation table. Only exists on aarch64 builds; the harness picks it
+// up automatically there and the panel gains a fourth backend column.
+struct WcqLlscNativeAdapter {
+  static constexpr const char* kName = "wCQ-LLSC-native";
+  using Queue = WCQLLSCNative;
+  static Queue* create() {
+    WCQLLSCNative::Options o;
+    o.order = ring_order();
+    return new Queue(o);
+  }
+  static void destroy(Queue* q) { delete q; }
+  static bool enqueue(Queue& q, u64 v) {
+    q.enqueue(v & (q.capacity() - 1));
+    return true;
+  }
+  static bool dequeue(Queue& q, u64& out) {
+    auto v = q.dequeue();
+    if (!v) return false;
+    out = *v;
+    return true;
+  }
+  static std::size_t enqueue_bulk(Queue& q, const u64* v, std::size_t n) {
+    return detail::ring_enqueue_bulk(q, v, n);
+  }
+  static std::size_t dequeue_bulk(Queue& q, u64* out, std::size_t n) {
+    return q.dequeue_bulk(out, n);
+  }
+};
+#endif  // WCQ_HAS_NATIVE_LLSC
+
 struct ScqAdapter {
   static constexpr const char* kName = "SCQ";
   using Queue = SCQ;

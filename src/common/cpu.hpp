@@ -37,12 +37,20 @@ void pin_thread(unsigned index, const Topology::PinSpec& spec,
                 const Topology& topo = Topology::instance());
 
 // A few-cycle pause to play nice with the sibling hyperthread inside spin
-// loops (PAUSE on x86, YIELD elsewhere).
+// loops. PAUSE on x86; ISB on AArch64 — YIELD is architecturally a NOP on
+// most ARM cores (it only hints SMT, which is rare there), while ISB stalls
+// the pipeline long enough to open a window for the spun-on store to land
+// and measurably cuts exclusive-monitor/coherence traffic in LDXP/STXP
+// loops (DESIGN.md §15). Other ISAs get a compiler barrier so spun-on
+// values are at least re-loaded instead of hoisted, rather than falling
+// through to nothing.
 inline void cpu_relax() {
 #if defined(__x86_64__)
   __builtin_ia32_pause();
 #elif defined(__aarch64__)
-  asm volatile("yield");
+  asm volatile("isb" ::: "memory");
+#else
+  asm volatile("" ::: "memory");
 #endif
 }
 

@@ -2,9 +2,17 @@
 //
 // wCQ needs 16-byte CAS in two places: ring entries ({Note, Value} pairs,
 // Fig 4) and the global Head/Tail references ({counter, phase2 pointer}
-// pairs, Fig 7). x86-64 provides cmpxchg16b; AArch64 provides CASP. On
+// pairs, Fig 7). x86-64 provides cmpxchg16b; AArch64 provides CASP (LSE) or
+// an LDXP/STXP exclusive pair (see src/portability/llsc_native.hpp). On
 // toolchains where 16-byte __atomic operations are routed through libatomic
-// we use inline assembly on x86-64 to keep the hot path call-free.
+// we use inline assembly to keep the hot path call-free.
+//
+// Backend selection (DESIGN.md §15):
+//   x86-64            lock cmpxchg16b        (unless WCQ_NO_INLINE_CAS2)
+//   aarch64 + LSE     caspal/casp family     (__ARM_FEATURE_ATOMICS, i.e.
+//                     -march=armv8.1-a+, or forced with WCQ_FORCE_LSE_CAS2)
+//   anything else     __atomic_compare_exchange with the requested order
+//                     (no longer hardwired to seq_cst)
 //
 // Atomic 16-byte *loads* are deliberately NOT provided as a primitive.
 // Per the paper (§4): every consumer of a pair either re-validates it with a
@@ -17,6 +25,11 @@
 #include <cstdint>
 
 #include "common/align.hpp"
+
+#if defined(__aarch64__) && !defined(WCQ_NO_INLINE_CAS2) && \
+    (defined(__ARM_FEATURE_ATOMICS) || defined(WCQ_FORCE_LSE_CAS2))
+#define WCQ_DWCAS_BACKEND_LSE 1
+#endif
 
 namespace wcq {
 
@@ -49,12 +62,103 @@ struct alignas(16) AtomicPair128 {
 static_assert(sizeof(AtomicPair128) == 16);
 static_assert(std::atomic<std::uint64_t>::is_always_lock_free);
 
-// 16-byte strong CAS. On success returns true; on failure updates `expected`
-// with the observed value (like std::atomic::compare_exchange). Full barrier
-// semantics (lock-prefixed on x86; __ATOMIC_SEQ_CST on the fallback).
-inline bool dwcas(AtomicPair128& target, Pair128& expected,
-                  const Pair128& desired) {
+// Human-readable backend name, reported by benches so committed JSON records
+// which CAS2 implementation produced the numbers.
+inline const char* dwcas_backend_name() {
 #if defined(__x86_64__) && !defined(WCQ_NO_INLINE_CAS2)
+  return "cmpxchg16b";
+#elif defined(WCQ_DWCAS_BACKEND_LSE)
+  return "lse-casp";
+#else
+  return "__atomic";
+#endif
+}
+
+#if defined(WCQ_DWCAS_BACKEND_LSE)
+// LSE CASP requires the compare/swap operands in consecutive even/odd
+// register pairs; pin them with register-asm locals. The order parameter
+// selects the casp variant at compile time when constant-folded, falling
+// back to caspal (strongest) for dynamic orders.
+inline bool dwcas_lse(AtomicPair128& target, Pair128& expected,
+                      const Pair128& desired, std::memory_order order) {
+  register std::uint64_t x0 asm("x0") = expected.lo;
+  register std::uint64_t x1 asm("x1") = expected.hi;
+  register std::uint64_t x2 asm("x2") = desired.lo;
+  register std::uint64_t x3 asm("x3") = desired.hi;
+  switch (order) {
+    case std::memory_order_relaxed:
+      asm volatile("casp %0, %1, %3, %4, %2"
+                   : "+r"(x0), "+r"(x1), "+Q"(target)
+                   : "r"(x2), "r"(x3)
+                   : "memory");
+      break;
+    case std::memory_order_acquire:
+    case std::memory_order_consume:
+      asm volatile("caspa %0, %1, %3, %4, %2"
+                   : "+r"(x0), "+r"(x1), "+Q"(target)
+                   : "r"(x2), "r"(x3)
+                   : "memory");
+      break;
+    case std::memory_order_release:
+      asm volatile("caspl %0, %1, %3, %4, %2"
+                   : "+r"(x0), "+r"(x1), "+Q"(target)
+                   : "r"(x2), "r"(x3)
+                   : "memory");
+      break;
+    default:  // acq_rel, seq_cst
+      asm volatile("caspal %0, %1, %3, %4, %2"
+                   : "+r"(x0), "+r"(x1), "+Q"(target)
+                   : "r"(x2), "r"(x3)
+                   : "memory");
+      break;
+  }
+  bool ok = (x0 == expected.lo) && (x1 == expected.hi);
+  expected.lo = x0;
+  expected.hi = x1;
+  return ok;
+}
+#endif  // WCQ_DWCAS_BACKEND_LSE
+
+// Maps a std::memory_order to the (success, failure) __ATOMIC pair for the
+// generic fallback; failure order is the strongest load-only order implied.
+inline void dwcas_atomic_orders(std::memory_order order, int& success,
+                                int& failure) {
+  switch (order) {
+    case std::memory_order_relaxed:
+      success = __ATOMIC_RELAXED;
+      failure = __ATOMIC_RELAXED;
+      break;
+    case std::memory_order_consume:
+    case std::memory_order_acquire:
+      success = __ATOMIC_ACQUIRE;
+      failure = __ATOMIC_ACQUIRE;
+      break;
+    case std::memory_order_release:
+      success = __ATOMIC_RELEASE;
+      failure = __ATOMIC_RELAXED;
+      break;
+    case std::memory_order_acq_rel:
+      success = __ATOMIC_ACQ_REL;
+      failure = __ATOMIC_ACQUIRE;
+      break;
+    default:
+      success = __ATOMIC_SEQ_CST;
+      failure = __ATOMIC_SEQ_CST;
+      break;
+  }
+}
+
+// 16-byte strong CAS. On success returns true; on failure updates `expected`
+// with the observed value (like std::atomic::compare_exchange). The order
+// parameter is advisory on x86 (lock cmpxchg16b is a full barrier either
+// way) and selects the casp variant / __atomic order pair elsewhere. All
+// pre-existing callers keep the seq_cst default; DESIGN.md §15 records any
+// call site that passes something weaker.
+inline bool dwcas(AtomicPair128& target, Pair128& expected,
+                  const Pair128& desired,
+                  std::memory_order order = std::memory_order_seq_cst) {
+#if defined(__x86_64__) && !defined(WCQ_NO_INLINE_CAS2)
+  (void)order;
   bool ok;
   asm volatile("lock cmpxchg16b %1"
                : "=@ccz"(ok), "+m"(target), "+a"(expected.lo),
@@ -62,11 +166,14 @@ inline bool dwcas(AtomicPair128& target, Pair128& expected,
                : "b"(desired.lo), "c"(desired.hi)
                : "memory");
   return ok;
+#elif defined(WCQ_DWCAS_BACKEND_LSE)
+  return dwcas_lse(target, expected, desired, order);
 #else
+  int success, failure;
+  dwcas_atomic_orders(order, success, failure);
   return __atomic_compare_exchange(
       reinterpret_cast<Pair128*>(&target), &expected,
-      const_cast<Pair128*>(&desired), /*weak=*/false, __ATOMIC_SEQ_CST,
-      __ATOMIC_SEQ_CST);
+      const_cast<Pair128*>(&desired), /*weak=*/false, success, failure);
 #endif
 }
 

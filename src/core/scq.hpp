@@ -212,7 +212,15 @@ class SCQ {
   }
 
   void reset_threshold() {
-    if (threshold_.value.load(std::memory_order_seq_cst) != threshold_max()) {
+    // Relaxed dirty pre-check (DESIGN.md §15 THLD-PRECHECK): the same
+    // argument as BasicWCQ::reset_threshold's PR 4 downgrade, which this
+    // mirrors — the pre-check only *skips* the re-arm when it reads
+    // threshold_max, a value some thread's re-arm stored; staleness or
+    // store-buffer reordering can under-arm the budget by at most the
+    // handful of seq_cst RMWs one drain window admits, well inside the 3n-1
+    // slack. All cross-thread ordering flows through the guarded store,
+    // which stays seq_cst.
+    if (threshold_.value.load(std::memory_order_relaxed) != threshold_max()) {
       WCQ_SCHED_POINT(kThresholdArm);
 #if defined(WCQ_ANALYSIS_MUTATE_THRESHOLD)
       // Mutation self-test (DESIGN.md §11): model the re-arm downgraded to a
@@ -293,8 +301,12 @@ class SCQ {
                                               std::memory_order_seq_cst)) {
         return;
       }
-      head = head_.value.load(std::memory_order_seq_cst);
-      tail = tail_.value.load(std::memory_order_seq_cst);
+      // Relaxed re-loads (DESIGN.md §15 CATCHUP-RELOAD): they only steer
+      // this bounded heuristic — a stale pair either retries the CAS (which
+      // re-validates and publishes with seq_cst) or exits early, and early
+      // exit is always correct for a pure contention optimization.
+      head = head_.value.load(std::memory_order_relaxed);
+      tail = tail_.value.load(std::memory_order_relaxed);
       if (tail >= head) return;
     }
   }

@@ -177,12 +177,17 @@ class SpmcRing {
   // Single-producer reservation + span insert. Reservation starts from
   // max(Tail, Head): consumers can no longer catchup-CAS Tail, so a drained
   // ring would otherwise leave Head arbitrarily far ahead and force the
-  // producer to walk every dead rank in between. Both loads are cheap —
-  // Tail is producer-private (relaxed), Head is a plain seq_cst read.
+  // producer to walk every dead rank in between. Both loads are relaxed
+  // (DESIGN.md §15 SPMC-CATCHUP): Tail is producer-private, and Head only
+  // seeds a starting rank — Head is monotonic, so a stale read is merely
+  // lower, and every rank between a stale and the live Head is dead: enq_at
+  // rejects it (⊥-mark/cycle check, with its own seq_cst Head consultation
+  // on the unsafe arm) and the producer walks forward. Wasted probes, never
+  // a wrong insert.
   void consumer_guarded_enqueue(const u64* indices, std::size_t n) {
     producer_.enter("SpmcRing", "producer");
     u64 t = tail_.value.load(std::memory_order_relaxed);
-    const u64 hd = head_.value.load(std::memory_order_seq_cst);
+    const u64 hd = head_.value.load(std::memory_order_relaxed);
     if (t < hd) t = hd;  // producer-side catchup: ranks below Head are dead
     if (n > 1) {
       // Bulk span: reserve n ranks with one store, defer the re-arm.
@@ -241,14 +246,31 @@ class SpmcRing {
     }
   }
 
-  // Threshold re-arm: single producer ⇒ single writer of threshold_max, but
-  // consumers fetch_sub concurrently, so the store must stay seq_cst RMW-
-  // free-but-ordered exactly as SCQ's (the §13 argument leans on the same
-  // ordering SCQ's proof used; only the writer count changed).
+  // Threshold re-arm (DESIGN.md §15 SPMC-REARM): single producer ⇒ single
+  // writer of threshold_max. The dirty pre-check is relaxed (§15
+  // THLD-PRECHECK, the same PR 4 argument wCQ and SCQ carry) and the store
+  // is downgraded seq_cst → release: consumers only read threshold through
+  // seq_cst fetch_subs, and a fetch_sub that reads-from this store
+  // synchronizes-with it, so the producer's earlier entry publication
+  // (seq_cst CAS, sequenced-before the store) is visible before any
+  // consumer can act on the re-armed budget. A consumer that decrements
+  // *before* the store lands sees the stale budget — a history seq_cst also
+  // admits (the store merely lands later in S) and one the 3n-1 slack
+  // already tolerates. On x86 this turns the re-arm's xchg into a plain
+  // mov in the producer's per-span path. Weakening further than release is
+  // the WCQ_ANALYSIS_MUTATE_RELAXED mutation, which tests/analysis must
+  // catch (the §15 falsifiability contract).
   void reset_threshold() {
-    if (threshold_.value.load(std::memory_order_seq_cst) != threshold_max()) {
+    if (threshold_.value.load(std::memory_order_relaxed) != threshold_max()) {
       WCQ_SCHED_POINT(kThresholdArm);
-      threshold_.value.store(threshold_max(), std::memory_order_seq_cst);
+#if defined(WCQ_ANALYSIS_MUTATE_RELAXED)
+      // Mutation self-test: the argued release store over-weakened to a
+      // relaxed store whose visibility is deferred past the next scheduling
+      // point — the false-empty window the PCT explorer must catch.
+      analysis::mutate_deferred_store(&threshold_.value, threshold_max());
+#else
+      threshold_.value.store(threshold_max(), std::memory_order_release);
+#endif
       opcount::count_threshold();
     }
   }

@@ -414,38 +414,47 @@ class BasicWCQ {
 
   // Post-mortem diagnostic: dump ring slots and thread records to stderr.
   // Not synchronized; only meaningful when the queue is quiescent/stuck.
+  // All loads relaxed (DESIGN.md §15 DBG-RELAXED): the dump races by
+  // construction, individual loads stay word-atomic either way, and on a
+  // quiescent queue every committed value is already visible — seq_cst here
+  // bought ordering no reader of the dump could use.
   void debug_dump() const {
+    using std::memory_order_relaxed;
     std::fprintf(stderr, "WCQ dump: head=%llu tail=%llu threshold=%lld\n",
-                 (unsigned long long)head_.lo.load(),
-                 (unsigned long long)tail_.lo.load(),
-                 (long long)threshold_.value.load());
+                 (unsigned long long)head_.lo.load(memory_order_relaxed),
+                 (unsigned long long)tail_.lo.load(memory_order_relaxed),
+                 (long long)threshold_.value.load(memory_order_relaxed));
     std::fprintf(stderr, "  head.ref=%llx tail.ref=%llx\n",
-                 (unsigned long long)head_.hi.load(),
-                 (unsigned long long)tail_.hi.load());
+                 (unsigned long long)head_.hi.load(memory_order_relaxed),
+                 (unsigned long long)tail_.hi.load(memory_order_relaxed));
     for (u64 pos = 0; pos < codec_.ring_size(); ++pos) {
       const u64 j = remap_(pos);
-      const Entry e = codec_.unpack(entries_[j].lo.load());
-      std::fprintf(stderr,
-                   "  slot[pos=%llu j=%llu] cycle=%llu safe=%d enq=%d "
-                   "idx=%llu note=%llu\n",
-                   (unsigned long long)pos, (unsigned long long)j,
-                   (unsigned long long)e.cycle, e.safe ? 1 : 0, e.enq ? 1 : 0,
-                   (unsigned long long)e.index,
-                   (unsigned long long)entries_[j].hi.load());
+      const Entry e =
+          codec_.unpack(entries_[j].lo.load(memory_order_relaxed));
+      std::fprintf(
+          stderr,
+          "  slot[pos=%llu j=%llu] cycle=%llu safe=%d enq=%d "
+          "idx=%llu note=%llu\n",
+          (unsigned long long)pos, (unsigned long long)j,
+          (unsigned long long)e.cycle, e.safe ? 1 : 0, e.enq ? 1 : 0,
+          (unsigned long long)e.index,
+          (unsigned long long)entries_[j].hi.load(memory_order_relaxed));
     }
     for (unsigned i = 0; i < n_records(); ++i) {
       const ThreadRec& r = records_[i];
-      std::fprintf(stderr,
-                   "  rec[%u] pending=%d enq=%d seq1=%llu seq2=%llu "
-                   "ltail=%llx itail=%llx lhead=%llx ihead=%llx idx=%llu\n",
-                   i, r.pending.load() ? 1 : 0, r.is_enqueue.load() ? 1 : 0,
-                   (unsigned long long)r.seq1.load(),
-                   (unsigned long long)r.seq2.load(),
-                   (unsigned long long)r.local_tail.load(),
-                   (unsigned long long)r.init_tail.load(),
-                   (unsigned long long)r.local_head.load(),
-                   (unsigned long long)r.init_head.load(),
-                   (unsigned long long)r.index.load());
+      std::fprintf(
+          stderr,
+          "  rec[%u] pending=%d enq=%d seq1=%llu seq2=%llu "
+          "ltail=%llx itail=%llx lhead=%llx ihead=%llx idx=%llu\n",
+          i, r.pending.load(memory_order_relaxed) ? 1 : 0,
+          r.is_enqueue.load(memory_order_relaxed) ? 1 : 0,
+          (unsigned long long)r.seq1.load(memory_order_relaxed),
+          (unsigned long long)r.seq2.load(memory_order_relaxed),
+          (unsigned long long)r.local_tail.load(memory_order_relaxed),
+          (unsigned long long)r.init_tail.load(memory_order_relaxed),
+          (unsigned long long)r.local_head.load(memory_order_relaxed),
+          (unsigned long long)r.init_head.load(memory_order_relaxed),
+          (unsigned long long)r.index.load(memory_order_relaxed));
     }
   }
 
@@ -653,8 +662,14 @@ class BasicWCQ {
                                            std::memory_order_seq_cst)) {
         return;
       }
-      head = head_.lo.load(std::memory_order_seq_cst);
-      tail = tail_.lo.load(std::memory_order_seq_cst);
+      // Relaxed re-loads (DESIGN.md §15 CATCHUP-RELOAD): these only steer a
+      // bounded contention heuristic. A stale pair either retries the CAS —
+      // which re-validates against the real Tail and publishes with seq_cst
+      // — or exits early, and exiting early is always correct: catchup is
+      // purely an optimization, the dequeuer's own path tolerates Tail
+      // lagging Head.
+      head = head_.lo.load(std::memory_order_relaxed);
+      tail = tail_.lo.load(std::memory_order_relaxed);
       if (tail >= head) return;
     }
   }

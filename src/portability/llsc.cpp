@@ -7,20 +7,28 @@
 
 namespace wcq {
 
+namespace llsc_inject {
+
 namespace {
-
-struct Reservation {
-  AtomicPair128* granule = nullptr;
-  Pair128 snapshot{0, 0};
-};
-
-thread_local Reservation t_reservation;
-
 std::atomic<std::uint64_t> g_failure_rate_permille{0};
 std::atomic<std::uint64_t> g_injected{0};
 std::atomic<std::uint64_t> g_attempts{0};
+}  // namespace
 
-bool inject_failure() {
+void set_rate(double p) {
+  if (p < 0) p = 0;
+  if (p > 1) p = 1;
+  g_failure_rate_permille.store(static_cast<std::uint64_t>(p * 1000.0),
+                                std::memory_order_relaxed);
+}
+
+double rate() {
+  return static_cast<double>(
+             g_failure_rate_permille.load(std::memory_order_relaxed)) /
+         1000.0;
+}
+
+bool should_fail() {
   const std::uint64_t permille =
       g_failure_rate_permille.load(std::memory_order_relaxed);
   if (permille == 0) return false;
@@ -34,6 +42,21 @@ bool inject_failure() {
   }
   return false;
 }
+
+std::uint64_t injected() { return g_injected.load(std::memory_order_relaxed); }
+
+std::uint64_t attempts() { return g_attempts.load(std::memory_order_relaxed); }
+
+}  // namespace llsc_inject
+
+namespace {
+
+struct Reservation {
+  AtomicPair128* granule = nullptr;
+  Pair128 snapshot{0, 0};
+};
+
+thread_local Reservation t_reservation;
 
 }  // namespace
 
@@ -50,7 +73,7 @@ bool LLSCSim::store_conditional(AtomicPair128& granule, Pair128 desired) {
   Reservation r = t_reservation;
   t_reservation = Reservation{};  // reservations are single-shot
   if (r.granule != &granule) return false;
-  if (inject_failure()) return false;
+  if (llsc_inject::should_fail()) return false;
   Pair128 expected = r.snapshot;
   return dwcas(granule, expected, desired);
 }
@@ -65,27 +88,6 @@ bool LLSCSim::store_conditional_hi(AtomicPair128& granule, u64 new_hi) {
   const Reservation& r = t_reservation;
   if (r.granule != &granule) return false;
   return store_conditional(granule, Pair128{r.snapshot.lo, new_hi});
-}
-
-void LLSCSim::set_spurious_failure_rate(double p) {
-  if (p < 0) p = 0;
-  if (p > 1) p = 1;
-  g_failure_rate_permille.store(static_cast<std::uint64_t>(p * 1000.0),
-                                std::memory_order_relaxed);
-}
-
-double LLSCSim::spurious_failure_rate() {
-  return static_cast<double>(
-             g_failure_rate_permille.load(std::memory_order_relaxed)) /
-         1000.0;
-}
-
-std::uint64_t LLSCSim::injected_failures() {
-  return g_injected.load(std::memory_order_relaxed);
-}
-
-std::uint64_t LLSCSim::sc_attempts() {
-  return g_attempts.load(std::memory_order_relaxed);
 }
 
 }  // namespace wcq

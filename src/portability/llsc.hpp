@@ -16,6 +16,11 @@
 //    failures (OS events, cache evictions). Tests run the full wCQ suite
 //    with failure rates up to 50%.
 //
+// On AArch64 the same interface is implemented with real LDXP/STXP exclusive
+// pairs in llsc_native.hpp; both backends share the injection machinery in
+// llsc_inject so the spurious-SC storm suites exercise real stxp failure
+// paths with the same counters (DESIGN.md §15).
+//
 // Fig 9's CAS2_Value / CAS2_Note replacements are built on this model in
 // core/wcq_llsc.hpp.
 #pragma once
@@ -25,6 +30,28 @@
 #include "common/dwcas.hpp"
 
 namespace wcq {
+
+// Injection machinery shared by the simulated and native LL/SC backends.
+// Global, test-only; default rate 0 keeps all of it off the SC hot path.
+namespace llsc_inject {
+
+// Probability in [0,1] that an otherwise-successful SC spuriously fails.
+void set_rate(double p);
+double rate();
+
+// True if this SC attempt should spuriously fail. Counts the attempt (only
+// while injection is armed — benchmarks must not pay for a contended counter
+// line in the SC path).
+bool should_fail();
+
+// Number of SCs that failed due to injection.
+std::uint64_t injected();
+
+// Number of SCs that held a valid reservation while injection was armed (the
+// population eligible for injection).
+std::uint64_t attempts();
+
+}  // namespace llsc_inject
 
 class LLSCSim {
  public:
@@ -38,12 +65,13 @@ class LLSCSim {
   static bool store_conditional_hi(AtomicPair128& granule, u64 new_hi);
 
   // Probability in [0,1] that an otherwise-successful SC spuriously fails.
-  // Global, test-only. Default 0.
-  static void set_spurious_failure_rate(double p);
-  static double spurious_failure_rate();
+  // Global, test-only. Default 0. (Forwards to llsc_inject, which the native
+  // backend shares — one knob arms every backend.)
+  static void set_spurious_failure_rate(double p) { llsc_inject::set_rate(p); }
+  static double spurious_failure_rate() { return llsc_inject::rate(); }
 
   // Test hook: number of SCs that failed due to injection.
-  static std::uint64_t injected_failures();
+  static std::uint64_t injected_failures() { return llsc_inject::injected(); }
 
   // Test hook: number of SCs that held a valid reservation while injection
   // was armed (the population eligible for injection; not counted when the
@@ -51,7 +79,7 @@ class LLSCSim {
   // asserting "the injector fired" gate on this — on a 1-core host the wCQ
   // slow path may see so little genuine contention that almost no LL/SC
   // updates run at all.
-  static std::uint64_t sc_attempts();
+  static std::uint64_t sc_attempts() { return llsc_inject::attempts(); }
 
  private:
   static bool store_conditional(AtomicPair128& granule, Pair128 desired);

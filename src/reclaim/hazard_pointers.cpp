@@ -131,10 +131,19 @@ void HazardDomain::scan(unsigned tid) {
   hazards.clear();
   const unsigned hw = ThreadRegistry::high_water();
   hazards.reserve(static_cast<std::size_t>(hw) * kSlotsPerThread);
+  // One seq_cst fence, then relaxed slot loads (DESIGN.md §15 HP-SCAN-FENCE).
+  // The Dekker pattern needs the *scan* ordered after this thread's retire
+  // bookkeeping and against each protector's seq_cst slot publish (HP-PROT);
+  // a single fence joining S before the loop gives every subsequent load
+  // that position, so per-slot seq_cst loads were O(threads) redundant
+  // fences on ARM — the loads themselves only need coherence (a slot holds
+  // one word, and a racing publish is caught by the publisher's re-validate,
+  // not by this scan's order).
+  std::atomic_thread_fence(std::memory_order_seq_cst);
   for (unsigned t = 0; t < hw; ++t) {
     WCQ_SCHED_POINT(kHazardScan);
     for (const auto& s : impl_->rows[t].slots) {
-      void* p = s.load(std::memory_order_seq_cst);
+      void* p = s.load(std::memory_order_relaxed);
       if (p != nullptr) hazards.push_back(p);
     }
   }

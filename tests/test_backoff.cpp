@@ -90,6 +90,28 @@ TEST(Backoff, UntilExpiresWithinTolerance) {
   EXPECT_LT(overshoot, std::chrono::seconds(1));
 }
 
+TEST(Backoff, CpuRelaxExecutesOnThisIsa) {
+  // cpu_relax() must emit a real instruction on every supported ISA (PAUSE
+  // on x86, ISB on AArch64 — the aarch64 qemu CI job executes this path;
+  // compiler barrier elsewhere) and never trap or block. One full spin
+  // round's worth of calls is the smoke budget.
+  for (int i = 0; i < (1 << Backoff::kMaxRelaxShift); ++i) cpu_relax();
+  SUCCEED();
+}
+
+TEST(Backoff, LadderStillEscalatesPastTheSpinHint) {
+  // Regression guard for the AArch64 ISB spin hint: a stronger (slower)
+  // cpu_relax must not change the escalation contract — after kSpinRounds
+  // pause() calls the ladder donates the quantum via
+  // std::this_thread::yield(), which the 1-core livelock fix relies on.
+  Backoff bo;
+  while (!bo.yielding()) bo.pause();
+  EXPECT_EQ(bo.round(), Backoff::kSpinRounds);
+  EXPECT_EQ(bo.yields(), 0u);
+  bo.pause();
+  EXPECT_EQ(bo.yields(), 1u);
+}
+
 TEST(Backoff, HandoffCompletesOnOversubscribedHost) {
   // The livelock regression in miniature: two threads ping-pong a flag more
   // times than any plausible scheduling-quantum budget would allow if the

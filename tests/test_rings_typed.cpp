@@ -1,8 +1,10 @@
-// Typed suite over the three index rings (wCQ with CAS2, wCQ with LL/SC,
-// SCQ): ring-specific semantics every variant must share.
+// Typed suite over the index rings (wCQ with CAS2, wCQ with simulated
+// LL/SC, wCQ with native LL/SC where the ISA provides it, SCQ):
+// ring-specific semantics every variant must share.
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -19,8 +21,30 @@ namespace {
 template <typename Ring>
 class RingTypedTest : public ::testing::Test {};
 
+// Named instantiations so CI can select backends by regex (the aarch64 job
+// picks LL/SC rows with -R Llsc); the default Types<...>/0 indices can't.
+class RingNames {
+ public:
+  template <typename T>
+  static std::string GetName(int) {
+    if constexpr (std::is_same_v<T, WCQ>) {
+      return "Wcq";
+    } else if constexpr (std::is_same_v<T, WCQLLSC>) {
+      return "WcqLlscSim";
+    } else if constexpr (std::is_same_v<T, SCQ>) {
+      return "Scq";
+    } else {
+      return "WcqLlscNative";
+    }
+  }
+};
+
+#if defined(WCQ_HAS_NATIVE_LLSC)
+using RingTypes = ::testing::Types<WCQ, WCQLLSC, WCQLLSCNative, SCQ>;
+#else
 using RingTypes = ::testing::Types<WCQ, WCQLLSC, SCQ>;
-TYPED_TEST_SUITE(RingTypedTest, RingTypes);
+#endif
+TYPED_TEST_SUITE(RingTypedTest, RingTypes, RingNames);
 
 TYPED_TEST(RingTypedTest, GeometryAndInitialState) {
   TypeParam q(5);

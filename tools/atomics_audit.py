@@ -11,21 +11,36 @@ The check fails on:
   * a site in the tree that is missing from the manifest      (unlisted)
   * a manifest row whose site no longer exists                (stale)
   * a site whose tag is empty/UNTAGGED                        (unjustified)
-  * a tag that names no DESIGN.md §11 argument id             (dangling)
+  * a tag that names no DESIGN.md §11/§15 argument id         (dangling)
   * more seq_cst sites than the manifest's ratcheted budget   (ratchet)
+  * a downgraded site re-strengthened back to seq_cst without
+    the manifest being re-argued                              (re-strengthened)
+  * a downgraded row whose tag is not a §15 downgrade id      (untracked-downgrade)
 
 Site identity is content-based — sha1(file|receiver|op|orders) plus an
 occurrence ordinal — so pure line drift (code added above a site) does not
 invalidate the manifest; changing the operation, its operand expression or
 its ordering does, which is exactly when the justification must be re-read.
 
+Fence-diet bookkeeping (DESIGN.md §15): each manifest row carries a ninth
+`downgraded-from` column ("-" for sites that were never downgraded). A row
+with downgraded-from set is a ratchet tooth: its tag must name a §15
+argument, and any seq_cst site reappearing at the same (file, receiver, op)
+fails the check as re-strengthened rather than merely unlisted.
+
 Modes:
   --check            gate (CI): diff tree against manifest, exit non-zero on
-                     any finding; --report FILE writes the diff for artifacts
+                     any finding; --report FILE writes the diff for artifacts;
+                     --budget N additionally fails if the manifest's own
+                     budget header exceeds N (the ratchet-down ceiling CI
+                     pins, so the header cannot silently regrow)
   --update           rewrite the manifest from the tree, carrying over tags
-                     by site key (new sites get UNTAGGED); --set-budget N
-                     moves the seq_cst ratchet (omit to keep, first write
-                     defaults to the current count)
+                     and downgraded-from by site key (new sites get UNTAGGED;
+                     a new site whose (file, receiver, op) matches a stale
+                     stronger-ordered row inherits downgraded-from=<old
+                     order> automatically); --set-budget N moves the seq_cst
+                     ratchet (omit to keep, first write defaults to the
+                     current count)
   --stats            per-file memory-order histogram (--json for machines)
   --cpp              preprocessor-assisted pass: run each src/ TU through
                      `g++ -E` with the flags from compile_commands.json and
@@ -174,6 +189,21 @@ def is_seq_cst(order):
     return "seq_cst" in order or order == "default"
 
 
+ORDER_RANK = {
+    "relaxed": 0, "consume": 1, "acquire": 2, "release": 2, "acq_rel": 3,
+    "seq_cst": 4, "default": 4,
+}
+
+
+def order_strength(order):
+    """Strength of an order column (max over '+'-joined CAS order pairs)."""
+    ranks = [ORDER_RANK.get(tok, 4) for tok in order.split("+")]
+    return max(ranks) if ranks else 4
+
+
+NO_DOWNGRADE = "-"
+
+
 class Site:
     __slots__ = ("file", "line", "kind", "op", "receiver", "order", "key")
 
@@ -218,7 +248,8 @@ def scan_file(path):
         # Only synchronizing asm counts: the lock-prefixed CAS2 and LL/SC
         # mnemonics. (`asm volatile("yield")` and friends are not atomics.)
         body = raw[m.start():m.start() + len(args) + 64]
-        if re.search(r"cmpxchg16b|ldaxp|stlxp|ldxp|stxp|\block\b", body):
+        if re.search(r"cmpxchg16b|ldaxp|stlxp|ldxp|stxp|\bcaspa?l?\b|\bclrex\b"
+                     r"|\block\b", body):
             line = text.count("\n", 0, m.start()) + 1
             sites.append(Site(rel, line, "asm", "asm", "<asm-cas2>",
                               "asm_lock"))
@@ -247,8 +278,9 @@ def scan_tree():
 
 def read_manifest(path=MANIFEST):
     tags, budget = {}, None
+    downgrades = {}
     if not os.path.exists(path):
-        return tags, budget, []
+        return tags, budget, [], downgrades
     rows = []
     for line in open(path, encoding="utf-8"):
         line = line.rstrip("\n")
@@ -264,42 +296,57 @@ def read_manifest(path=MANIFEST):
             continue
         key, file, line_no, kind, op, receiver, order, tag = cols[:8]
         tags[key] = tag
+        # 9th column (downgraded-from) is optional for pre-§15 manifests.
+        if len(cols) >= 9 and cols[8] and cols[8] != NO_DOWNGRADE:
+            downgrades[key] = cols[8]
         rows.append(cols)
-    return tags, budget, rows
+    return tags, budget, rows, downgrades
 
 
-def write_manifest(sites, tags, budget, path=MANIFEST):
+def write_manifest(sites, tags, budget, downgrades, path=MANIFEST):
     with open(path, "w", encoding="utf-8") as f:
         f.write("# wcq atomics manifest — maintained by tools/atomics_audit.py"
                 " (--update)\n")
         f.write("# Every src/ atomic site, keyed by content "
                 "(sha1(file|receiver|op|orders)#ordinal), tagged with a\n")
-        f.write("# DESIGN.md §11 argument id. `--check` gates CI; the budget"
-                " below is the seq_cst ratchet.\n")
+        f.write("# DESIGN.md §11/§15 argument id. `--check` gates CI; the"
+                " budget below is the seq_cst ratchet. downgraded-from\n")
+        f.write("# records the order a §15 fence-diet site was argued down"
+                " from (re-strengthening it fails the check).\n")
         f.write("# seq_cst_budget: %d\n" % budget)
-        f.write("# key\tfile\tline\tkind\top\treceiver\torder\ttag\n")
+        f.write("# key\tfile\tline\tkind\top\treceiver\torder\ttag"
+                "\tdowngraded-from\n")
         for s in sites:
             f.write("\t".join([
                 s.key, s.file, str(s.line), s.kind, s.op, s.receiver, s.order,
                 tags.get(s.key, UNTAGGED),
+                downgrades.get(s.key, NO_DOWNGRADE),
             ]) + "\n")
 
 
 def design_argument_ids(path=DESIGN):
-    """Argument ids from DESIGN.md §11: first column of its tables."""
-    ids = set()
-    in_section = False
+    """Argument ids from DESIGN.md tables: (all ids, §15-only ids).
+
+    §11 is the general atomic-site argument table; §15 is the fence-diet
+    downgrade table — rows whose manifest downgraded-from column is set must
+    tag a §15 id specifically.
+    """
+    ids, s15 = set(), set()
     if not os.path.exists(path):
-        return ids
+        return ids, s15
+    in_11 = in_15 = False
     for line in open(path, encoding="utf-8"):
         if line.startswith("## "):
-            in_section = line.startswith("## §11")
+            in_11 = line.startswith("## §11")
+            in_15 = line.startswith("## §15")
             continue
-        if in_section:
+        if in_11 or in_15:
             m = re.match(r"\s*\|\s*`?([A-Z][A-Z0-9-]{2,})`?\s*\|", line)
             if m:
                 ids.add(m.group(1))
-    return ids
+                if in_15:
+                    s15.add(m.group(1))
+    return ids, s15
 
 
 def seq_cst_count(sites):
@@ -308,16 +355,36 @@ def seq_cst_count(sites):
 
 def do_check(args):
     sites = scan_tree()
-    tags, budget, _rows = read_manifest()
-    ids = design_argument_ids()
+    tags, budget, rows, downgrades = read_manifest()
+    ids, s15_ids = design_argument_ids()
     findings = []
+
+    # (file, receiver, op) triples that carry an argued §15 downgrade: a
+    # seq_cst site reappearing at one of these is a re-strengthening, not
+    # just an ordinary unlisted site.
+    dieted = {}
+    for cols in rows:
+        key = cols[0]
+        if key in downgrades:
+            dieted[(cols[1], cols[5], cols[4])] = (downgrades[key],
+                                                   cols[6], tags.get(key, ""))
 
     current_keys = {s.key: s for s in sites}
     for s in sites:
         if s.key not in tags:
-            findings.append(
-                "unlisted: %s:%d %s.%s(%s) [%s] — run --update and justify"
-                % (s.file, s.line, s.receiver, s.op, s.order, s.key))
+            triple = (s.file, s.receiver, s.op)
+            if is_seq_cst(s.order) and triple in dieted:
+                frm, argued, tag = dieted[triple]
+                findings.append(
+                    "re-strengthened: %s:%d %s.%s is seq_cst again but was "
+                    "argued down %s -> %s (§15 %s) — revert, or re-argue and "
+                    "drop the downgraded-from row deliberately"
+                    % (s.file, s.line, s.receiver, s.op, frm, argued, tag))
+            else:
+                findings.append(
+                    "unlisted: %s:%d %s.%s(%s) [%s] — run --update and "
+                    "justify" % (s.file, s.line, s.receiver, s.op, s.order,
+                                 s.key))
     for key, tag in tags.items():
         if key not in current_keys:
             findings.append(
@@ -329,14 +396,23 @@ def do_check(args):
             continue
         if not tag or tag == UNTAGGED:
             findings.append(
-                "unjustified: %s:%d %s.%s [%s] has no §11 tag"
+                "unjustified: %s:%d %s.%s [%s] has no §11/§15 tag"
                 % (s.file, s.line, s.receiver, s.op, s.key))
         elif ids and tag not in ids:
             findings.append(
-                "dangling: %s:%d tag '%s' names no DESIGN.md §11 argument id"
-                % (s.file, s.line, tag))
+                "dangling: %s:%d tag '%s' names no DESIGN.md §11/§15 "
+                "argument id" % (s.file, s.line, tag))
+        elif s.key in downgrades and s15_ids and tag not in s15_ids:
+            findings.append(
+                "untracked-downgrade: %s:%d %s.%s was downgraded from %s but "
+                "tag '%s' is not a DESIGN.md §15 downgrade argument"
+                % (s.file, s.line, s.receiver, s.op, downgrades[s.key], tag))
     if not ids:
         findings.append("dangling: DESIGN.md has no §11 argument-id table")
+    if downgrades and not s15_ids:
+        findings.append(
+            "untracked-downgrade: manifest has downgraded-from rows but "
+            "DESIGN.md has no §15 argument-id table")
 
     count = seq_cst_count(sites)
     if budget is None:
@@ -346,6 +422,15 @@ def do_check(args):
             "ratchet: %d seq_cst sites exceed the budget of %d — each "
             "new seq_cst site needs its own §11 argument and a deliberate "
             "--set-budget bump" % (count, budget))
+    if args.budget is not None:
+        if budget is not None and budget > args.budget:
+            findings.append(
+                "ratchet: manifest budget %d exceeds the CI ceiling of %d — "
+                "the seq_cst ratchet only moves down" % (budget, args.budget))
+        if count > args.budget:
+            findings.append(
+                "ratchet: %d seq_cst sites exceed the CI ceiling of %d"
+                % (count, args.budget))
 
     report = []
     report.append("atomics audit: %d sites, %d seq_cst (budget %s), "
@@ -367,16 +452,44 @@ def do_check(args):
 
 def do_update(args):
     sites = scan_tree()
-    tags, budget, _rows = read_manifest()
+    tags, budget, rows, downgrades = read_manifest()
     count = seq_cst_count(sites)
     if args.set_budget is not None:
         budget = args.set_budget
     elif budget is None:
         budget = count
-    write_manifest(sites, tags, budget)
+
+    # Downgrade inference: a new site (key not in the old manifest) whose
+    # (file, receiver, op) matches a stale row with a strictly stronger
+    # order inherits downgraded-from=<old order>. The tag is NOT carried —
+    # the check then demands a fresh §15 argument for the weakened site.
+    current_keys = {s.key for s in sites}
+    stale_by_triple = {}
+    for cols in rows:
+        if cols[0] not in current_keys:
+            stale_by_triple.setdefault((cols[1], cols[5], cols[4]),
+                                       []).append(cols)
+    inferred = 0
+    for s in sites:
+        if s.key in tags:
+            continue
+        for cols in stale_by_triple.get((s.file, s.receiver, s.op), []):
+            old_order = cols[6]
+            if order_strength(old_order) > order_strength(s.order):
+                # Preserve an existing downgraded-from chain's origin: a
+                # second weakening keeps the original strongest order.
+                origin = cols[8] if (len(cols) >= 9 and
+                                     cols[8] != NO_DOWNGRADE) else old_order
+                downgrades[s.key] = origin
+                inferred += 1
+                break
+
+    write_manifest(sites, tags, budget, downgrades)
     fresh = sum(1 for s in sites if tags.get(s.key, UNTAGGED) == UNTAGGED)
-    print("manifest updated: %d sites (%d seq_cst, budget %d), %d untagged"
-          % (len(sites), count, budget, fresh))
+    print("manifest updated: %d sites (%d seq_cst, budget %d), %d untagged, "
+          "%d downgraded (%d newly inferred)"
+          % (len(sites), count, budget, fresh,
+             sum(1 for s in sites if s.key in downgrades), inferred))
     return 0
 
 
@@ -488,6 +601,9 @@ def main():
     mode.add_argument("--cpp", action="store_true")
     ap.add_argument("--report", metavar="FILE",
                     help="--check: also write the findings to FILE")
+    ap.add_argument("--budget", type=int, metavar="N",
+                    help="--check: ratchet-down ceiling — fail if the "
+                         "manifest budget or the live seq_cst count exceeds N")
     ap.add_argument("--set-budget", type=int, metavar="N",
                     help="--update: move the seq_cst ratchet to N")
     ap.add_argument("--json", action="store_true",
